@@ -1,0 +1,100 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures:
+it runs the (scaled) experiment on the virtual CM-5, prints the same
+rows/series the paper reports, writes them under
+``benchmarks/results/``, and asserts the qualitative shape.  The
+``benchmark`` fixture wraps the experiment (``pedantic``, one round) so
+``pytest benchmarks/ --benchmark-only`` also reports wall times.
+
+Iteration counts are the paper's scaled by ``REPRO_SCALE`` (default 0.1;
+export ``REPRO_SCALE=1`` for the full 2000/200-iteration runs).
+
+Expensive sweeps (the Table 2 family feeding Table 3 and Figures 21/22)
+are cached per-process so the three reports share one set of runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.pic import Simulation, SimulationConfig, SimulationResult
+from repro.workloads import TABLE2_CASES, scaled_iterations
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Seed used by every benchmark run (the paper's trends are not
+#: seed-sensitive; fixing it makes reruns comparable).
+SEED = 3
+
+#: Thermal spread used for the policy benchmarks — warm enough that
+#: subdomains drift visibly within the scaled iteration counts.
+VTH = 0.08
+
+
+def write_report(name: str, text: str) -> Path:
+    """Print ``text`` and persist it to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"[written to {path}]")
+    return path
+
+
+def run_simulation(
+    *,
+    nx: int,
+    ny: int,
+    nparticles: int,
+    p: int,
+    distribution: str,
+    policy: str,
+    scheme: str = "hilbert",
+    iterations: int,
+    seed: int = SEED,
+    vth: float = VTH,
+    **kwargs,
+) -> SimulationResult:
+    """Build and run one configured simulation."""
+    config = SimulationConfig(
+        nx=nx,
+        ny=ny,
+        nparticles=nparticles,
+        p=p,
+        distribution=distribution,
+        policy=policy,
+        scheme=scheme,
+        seed=seed,
+        vth=vth,
+        **kwargs,
+    )
+    return Simulation(config).run(iterations)
+
+
+@functools.lru_cache(maxsize=None)
+def table2_run(case_name: str, scheme: str) -> SimulationResult:
+    """One (case, scheme) cell of the Table 2 sweep, cached for reuse by
+    Table 3 and Figures 21/22."""
+    case = {c.name: c for c in TABLE2_CASES}[case_name]
+    iters = scaled_iterations(case.iterations)
+    return run_simulation(
+        policy="dynamic",
+        scheme=scheme,
+        iterations=iters,
+        **case.config_kwargs(),
+    )
+
+
+def table2_case_names(max_p: int | None = None) -> list[str]:
+    """Names of the Table 2 cases, optionally capped at ``max_p`` ranks.
+
+    ``REPRO_MAX_P`` (default 128 = everything) trims the heaviest rows
+    for quick local runs.
+    """
+    if max_p is None:
+        max_p = int(os.environ.get("REPRO_MAX_P", "128"))
+    return [c.name for c in TABLE2_CASES if c.p <= max_p]

@@ -1,0 +1,67 @@
+"""Wall-clock microbenchmarks of the hot kernels (pytest-benchmark).
+
+These measure the *host* performance of the vectorized NumPy kernels —
+useful for regression tracking, independent of the virtual-machine cost
+model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.indexing import hilbert_xy_to_d
+from repro.mesh import FieldState, Grid2D
+from repro.particles import uniform_plasma
+from repro.pic.deposition import deposit_charge_current
+from repro.pic.interpolation import interpolate_fields
+from repro.pic.maxwell import MaxwellSolver
+from repro.pic.push import boris_push
+
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid2D(256, 128)
+
+
+@pytest.fixture(scope="module")
+def particles(grid):
+    return uniform_plasma(grid, N, rng=0)
+
+
+def bench_kernel_deposition(benchmark, grid, particles):
+    result = benchmark(deposit_charge_current, grid, particles)
+    assert result[0].shape == grid.shape
+
+
+def bench_kernel_interpolation(benchmark, grid, particles):
+    fields = FieldState.zeros(grid)
+    fields.ez[:] = 1.0
+    e, b = benchmark(interpolate_fields, grid, fields, particles)
+    assert e.shape == (3, N)
+
+
+def bench_kernel_push(benchmark, grid, particles):
+    parts = particles.copy()
+    e = np.zeros((3, N))
+    b = np.zeros((3, N))
+    b[2] = 0.1
+    benchmark(boris_push, grid, parts, e, b, 0.5)
+
+
+def bench_kernel_maxwell_step(benchmark, grid):
+    solver = MaxwellSolver(grid)
+    fields = FieldState.zeros(grid)
+    rng = np.random.default_rng(0)
+    fields.ez[:] = rng.normal(size=grid.shape)
+    benchmark(solver.step, fields, 0.5)
+
+
+def bench_kernel_hilbert_encode(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 1 << 10, N)
+    y = rng.integers(0, 1 << 10, N)
+    d = benchmark(hilbert_xy_to_d, 10, x, y)
+    assert d.shape == (N,)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""3-D extension demo: Hilbert partitioning of a 3-D particle cloud.
+
+The paper works in 2-D but notes its indexing generalizes to n
+dimensions.  This example partitions a 3-D centre blob over 16 ranks
+with the n-D Hilbert transform versus the row-major baseline, and
+compares the alignment and communication proxies.
+
+Run:  python examples/hilbert3d_partition.py
+"""
+
+from repro.analysis import format_table
+from repro.ext3d import (
+    CurveBlockDecomposition3D,
+    Grid3D,
+    ParticlePartitioner3D,
+    gaussian_blob_3d,
+)
+
+
+def main() -> None:
+    grid = Grid3D(32, 32, 32)
+    x, y, z = gaussian_blob_3d(grid, 32768, rng=9)
+    print(f"{x.size} particles in a centre blob on a {grid.nx}^3 grid, 16 ranks")
+
+    rows = []
+    for scheme in ("hilbert", "rowmajor"):
+        part = ParticlePartitioner3D(grid, 16, scheme)
+        fractions = part.alignment_fraction(x, y, z)
+        ghosts = part.ghost_vertex_count(x, y, z)
+        decomp = CurveBlockDecomposition3D(grid, 16, scheme)
+        surface = sum(decomp.surface_area(r) for r in range(16))
+        rows.append([scheme, float(fractions.mean()), ghosts, surface])
+
+    print()
+    print(format_table(
+        ["scheme", "mean alignment", "ghost vertices", "mesh surface cells"],
+        rows,
+        title="3-D partition quality (higher alignment / lower ghosts is better)",
+    ))
+    hil, row = rows
+    print()
+    print(f"Hilbert reduces ghost vertices by "
+          f"{100 * (1 - hil[2] / row[2]):.0f}% versus row-major slabs, "
+          "matching the 2-D result of the paper.")
+
+
+if __name__ == "__main__":
+    main()

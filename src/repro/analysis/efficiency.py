@@ -1,0 +1,27 @@
+"""Speedup / efficiency computations (paper Table 3).
+
+The paper defines efficiency relative to the single-processor run of
+the same problem; with the virtual machine the 1-processor time is the
+pure compute time of all four phases (no communication), which the cost
+model yields directly.
+"""
+
+from __future__ import annotations
+
+from repro.util import require_positive
+
+__all__ = ["speedup", "efficiency"]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """Classical speedup ``T_1 / T_p``."""
+    require_positive(t1, "t1")
+    require_positive(tp, "tp")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """Parallel efficiency ``T_1 / (p * T_p)``."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return speedup(t1, tp) / p

@@ -1,0 +1,115 @@
+"""ASCII visualization of densities, decompositions, and assignments.
+
+Terminal-friendly renderings used by the examples and handy for
+debugging distribution quality:
+
+* :func:`density_map` — particle occupancy as a shaded character grid;
+* :func:`ownership_map` — which rank owns each cell (the Figure 10 view);
+* :func:`particle_assignment_map` — the dominant *particle* owner per
+  cell, so misalignment between particle and mesh subdomains is visible
+  as disagreement with :func:`ownership_map`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.decomposition import MeshDecomposition
+from repro.mesh.grid import Grid2D
+from repro.particles.arrays import ParticleArray
+from repro.util import require
+
+__all__ = ["density_map", "ownership_map", "particle_assignment_map"]
+
+_SHADES = " .:-=+*#%@"
+_RANK_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _downsample(cellgrid: np.ndarray, max_width: int) -> np.ndarray:
+    """Block-average a (ny, nx) array down to at most ``max_width`` columns."""
+    ny, nx = cellgrid.shape
+    if nx <= max_width:
+        return cellgrid
+    factor = int(np.ceil(nx / max_width))
+    pad_x = (-nx) % factor
+    pad_y = (-ny) % factor
+    padded = np.pad(cellgrid, ((0, pad_y), (0, pad_x)), mode="edge")
+    h, w = padded.shape
+    return padded.reshape(h // factor, factor, w // factor, factor).mean(axis=(1, 3))
+
+
+def density_map(
+    grid: Grid2D,
+    particles: ParticleArray,
+    *,
+    max_width: int = 64,
+) -> str:
+    """Render particle occupancy per cell as shaded characters.
+
+    Rows are printed with y increasing downward (matrix order).
+    """
+    cells = grid.cell_id_of_positions(particles.x, particles.y)
+    counts = np.bincount(cells, minlength=grid.ncells).reshape(grid.ny, grid.nx)
+    counts = _downsample(counts.astype(float), max_width)
+    peak = counts.max()
+    if peak == 0:
+        levels = np.zeros_like(counts, dtype=int)
+    else:
+        levels = np.clip(
+            (counts / peak * (len(_SHADES) - 1)).round().astype(int),
+            0,
+            len(_SHADES) - 1,
+        )
+    lines = ["".join(_SHADES[v] for v in row) for row in levels]
+    header = f"particle density ({particles.n} particles, peak {int(peak)}/cell-block)"
+    return "\n".join([header] + lines)
+
+
+def ownership_map(decomp: MeshDecomposition, *, max_width: int = 64) -> str:
+    """Render the rank owning each cell (one glyph per rank, mod 62)."""
+    grid = decomp.grid
+    owners = decomp.owner_map.reshape(grid.ny, grid.nx)
+    block = _downsample(owners.astype(float), max_width)
+    # after downsampling show the (rounded) dominant rank
+    glyphs = np.mod(np.round(block).astype(int), len(_RANK_GLYPHS))
+    lines = ["".join(_RANK_GLYPHS[v] for v in row) for row in glyphs]
+    return "\n".join([f"mesh ownership ({decomp.p} ranks)"] + lines)
+
+
+def particle_assignment_map(
+    grid: Grid2D,
+    local_particles: list[ParticleArray],
+    *,
+    max_width: int = 64,
+) -> str:
+    """Render the dominant particle-owner rank per cell ('.' = empty).
+
+    Compare with :func:`ownership_map` of the mesh decomposition: cells
+    whose glyphs disagree hold particles that will generate scatter and
+    gather communication.
+    """
+    require(len(local_particles) >= 1, "need at least one rank")
+    ncells = grid.ncells
+    best_count = np.zeros(ncells, dtype=np.int64)
+    best_rank = np.full(ncells, -1, dtype=np.int64)
+    for r, parts in enumerate(local_particles):
+        if parts.n == 0:
+            continue
+        cells = grid.cell_id_of_positions(parts.x, parts.y)
+        counts = np.bincount(cells, minlength=ncells)
+        better = counts > best_count
+        best_count[better] = counts[better]
+        best_rank[better] = r
+    shaped = best_rank.reshape(grid.ny, grid.nx)
+    if grid.nx > max_width:
+        # downsample by dominant value: use rounded block mean of ranks,
+        # masking empties as the block's most common state
+        shaped = np.round(_downsample(shaped.astype(float), max_width)).astype(int)
+    lines = []
+    for row in shaped:
+        lines.append(
+            "".join(
+                "." if v < 0 else _RANK_GLYPHS[v % len(_RANK_GLYPHS)] for v in row
+            )
+        )
+    return "\n".join([f"dominant particle owner ({len(local_particles)} ranks)"] + lines)

@@ -1,0 +1,240 @@
+"""Command-line interface: run experiments without writing Python.
+
+Usage examples::
+
+    python -m repro run --nx 64 --ny 32 -n 8192 -p 16 \
+        --distribution irregular --policy dynamic --iterations 200
+    python -m repro run --case fig20 --policy periodic:25
+    python -m repro scenarios
+    python -m repro schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.indexing import available_schemes
+from repro.pic import Simulation, SimulationConfig, SimulationResult
+from repro.workloads import FIG16_CASES, FIG17_CASE, FIG20_CASE, TABLE2_CASES
+from repro.workloads.scenarios import PaperCase
+
+__all__ = ["main", "build_parser"]
+
+
+def _all_cases() -> dict[str, PaperCase]:
+    cases: dict[str, PaperCase] = {"fig17": FIG17_CASE, "fig20": FIG20_CASE}
+    for case in FIG16_CASES + TABLE2_CASES:
+        cases[case.name] = case
+    return cases
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel-PIC reproduction of Liao/Ou/Ranka (IPPS 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--config", help="JSON file of SimulationConfig fields (overridden by flags)")
+    run.add_argument("--case", help="start from a named paper case (see `scenarios`)")
+    run.add_argument("--nx", type=int, default=64)
+    run.add_argument("--ny", type=int, default=32)
+    run.add_argument("-n", "--particles", type=int, default=8192)
+    run.add_argument("-p", "--processors", type=int, default=16)
+    run.add_argument("--distribution", default="irregular",
+                     choices=["uniform", "irregular", "two_stream", "ring"])
+    run.add_argument("--scheme", default="hilbert")
+    run.add_argument("--policy", default="dynamic",
+                     help="static | dynamic | periodic:<k>")
+    run.add_argument("--movement", default="lagrangian",
+                     choices=["lagrangian", "eulerian"])
+    run.add_argument("--partitioning", default="independent",
+                     choices=["independent", "grid", "particle"])
+    run.add_argument("--ghost-table", default="hash", choices=["hash", "direct"])
+    run.add_argument("--iterations", type=int, default=200)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--vth", type=float, default=0.05)
+    run.add_argument("--field-solver", default="maxwell", choices=["maxwell", "electrostatic"])
+    run.add_argument("--kernel", default="era", choices=["era", "modern"],
+                     help="era = paper's CIC + collocated FDTD; modern = Yee + zigzag")
+    run.add_argument("--json", action="store_true",
+                     help="emit a machine-readable JSON summary")
+    run.add_argument("--save-json", metavar="PATH",
+                     help="write the full result (summary + per-iteration series) to PATH")
+
+    sub.add_parser("scenarios", help="list the paper's experiment configurations")
+    sub.add_parser("schemes", help="list registered indexing schemes")
+
+    verify = sub.add_parser(
+        "verify",
+        help="check that the parallel code matches the sequential reference",
+    )
+    verify.add_argument("-p", "--processors", type=int, default=4)
+    verify.add_argument("--iterations", type=int, default=10)
+    verify.add_argument("--scheme", default="hilbert")
+    verify.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    kwargs = dict(
+        nx=args.nx,
+        ny=args.ny,
+        nparticles=args.particles,
+        p=args.processors,
+        distribution=args.distribution,
+        scheme=args.scheme,
+        policy=args.policy,
+        movement=args.movement,
+        partitioning=args.partitioning,
+        ghost_table=args.ghost_table,
+        field_solver=args.field_solver,
+        kernel=args.kernel,
+        seed=args.seed,
+        vth=args.vth,
+    )
+    if args.config:
+        from pathlib import Path
+
+        try:
+            loaded = json.loads(Path(args.config).read_text())
+        except FileNotFoundError:
+            raise SystemExit(f"config file not found: {args.config}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"config file {args.config} is not valid JSON: {exc}")
+        if not isinstance(loaded, dict):
+            raise SystemExit(f"config file {args.config} must contain a JSON object")
+        unknown = set(loaded) - set(kwargs)
+        if unknown:
+            raise SystemExit(f"unknown config keys in {args.config}: {sorted(unknown)}")
+        kwargs.update(loaded)
+        # explicit command-line flags win over the file
+        defaults = build_parser().parse_args(["run"])
+        for key, cli_name in (
+            ("nx", "nx"), ("ny", "ny"), ("nparticles", "particles"),
+            ("p", "processors"), ("distribution", "distribution"),
+            ("scheme", "scheme"), ("policy", "policy"), ("movement", "movement"),
+            ("partitioning", "partitioning"), ("ghost_table", "ghost_table"),
+            ("field_solver", "field_solver"), ("kernel", "kernel"),
+            ("seed", "seed"), ("vth", "vth"),
+        ):
+            value = getattr(args, cli_name)
+            if value != getattr(defaults, cli_name):
+                kwargs[key] = value
+    if args.case:
+        cases = _all_cases()
+        if args.case not in cases:
+            known = ", ".join(sorted(cases))
+            raise SystemExit(f"unknown case {args.case!r}; known cases: {known}")
+        kwargs.update(cases[args.case].config_kwargs())
+    return SimulationConfig(**kwargs)
+
+
+def _summary_dict(result: SimulationResult) -> dict:
+    return {
+        "iterations": len(result.records),
+        "total_time": result.total_time,
+        "computation_time": result.computation_time,
+        "overhead": result.overhead,
+        "n_redistributions": result.n_redistributions,
+        "redistribution_time": result.redistribution_time,
+        "phase_breakdown": result.phase_breakdown,
+        "mean_iteration_time": float(np.mean(result.iteration_times))
+        if result.records
+        else 0.0,
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    sim = Simulation(config)
+    result = sim.run(args.iterations)
+    if args.save_json:
+        result.save_json(args.save_json)
+    summary = _summary_dict(result)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        rows = [[k, v] for k, v in summary.items() if not isinstance(v, dict)]
+        print(format_table(["quantity", "value"], rows,
+                           title=f"{args.iterations} iterations, p={config.p}"))
+        print()
+        for phase, seconds in sorted(summary["phase_breakdown"].items()):
+            print(f"  {phase:<15s} {seconds:10.4f} s")
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    rows = [
+        [name, f"{c.nx}x{c.ny}", c.nparticles, c.p, c.distribution, c.iterations]
+        for name, c in sorted(_all_cases().items())
+    ]
+    print(format_table(
+        ["name", "mesh", "particles", "p", "distribution", "iterations"],
+        rows,
+        title="Paper experiment configurations",
+    ))
+    return 0
+
+
+def _cmd_schemes() -> int:
+    for name in available_schemes():
+        print(name)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run parallel vs sequential on a small problem and compare."""
+    from repro.core import ParticlePartitioner
+    from repro.machine import VirtualMachine
+    from repro.mesh import CurveBlockDecomposition, Grid2D
+    from repro.particles import gaussian_blob
+    from repro.pic import ParallelPIC, SequentialPIC
+
+    grid = Grid2D(32, 16)
+    particles = gaussian_blob(grid, 2048, rng=args.seed)
+    vm = VirtualMachine(args.processors)
+    decomp = CurveBlockDecomposition(grid, args.processors, args.scheme)
+    local = ParticlePartitioner(grid, args.scheme).initial_partition(
+        particles, args.processors
+    )
+    par = ParallelPIC(vm, grid, decomp, local)
+    seq = SequentialPIC(grid, particles.copy(), dt=par.dt)
+    for _ in range(args.iterations):
+        par.step()
+        seq.step()
+    a = par.all_particles()
+    oa = np.argsort(a.ids)
+    ob = np.argsort(seq.particles.ids)
+    dx = float(np.abs(a.x[oa] - seq.particles.x[ob]).max()) if a.n else 0.0
+    dez = float(np.abs(par.fields.ez - seq.fields.ez).max())
+    ok = dx < 1e-9 and dez < 1e-9
+    print(f"max |x_par - x_seq|  = {dx:.3e}")
+    print(f"max |Ez_par - Ez_seq| = {dez:.3e}")
+    print("VERIFY OK" if ok else "VERIFY FAILED")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios()
+    if args.command == "schemes":
+        return _cmd_schemes()
+    if args.command == "verify":
+        return _cmd_verify(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

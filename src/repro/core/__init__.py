@@ -1,0 +1,51 @@
+"""The paper's contribution: dynamic alignment and distribution of the
+irregularly coupled particle and mesh arrays.
+
+* :mod:`repro.core.partitioner` — Hilbert (or any curve) index-based
+  particle distribution: index, sort, split equally (paper §5.1).
+* :mod:`repro.core.incremental_sort` — bucket-based incremental sorting
+  that reuses the previous epoch's order (paper Figure 12).
+* :mod:`repro.core.load_balance` — order-maintaining load balance.
+* :mod:`repro.core.policies` — static / periodic / dynamic (SAR, Eq. 1)
+  redistribution decision policies (paper §5.2).
+* :mod:`repro.core.redistribution` — the full redistribution driver.
+* :mod:`repro.core.alignment` — particle/mesh subdomain overlap metrics
+  (paper Figure 5).
+* :mod:`repro.core.metrics` — load-imbalance and overhead accounting.
+"""
+
+from repro.core.alignment import (
+    bounding_box_area,
+    partner_counts,
+    subdomain_overlap_fraction,
+)
+from repro.core.incremental_sort import BucketState, bucket_incremental_sort
+from repro.core.load_balance import order_maintaining_balance
+from repro.core.metrics import load_imbalance, particle_counts
+from repro.core.partitioner import ParticlePartitioner
+from repro.core.policies import (
+    DynamicSARPolicy,
+    PeriodicPolicy,
+    RedistributionPolicy,
+    StaticPolicy,
+    make_policy,
+)
+from repro.core.redistribution import Redistributor
+
+__all__ = [
+    "ParticlePartitioner",
+    "BucketState",
+    "bucket_incremental_sort",
+    "order_maintaining_balance",
+    "RedistributionPolicy",
+    "StaticPolicy",
+    "PeriodicPolicy",
+    "DynamicSARPolicy",
+    "make_policy",
+    "Redistributor",
+    "bounding_box_area",
+    "subdomain_overlap_fraction",
+    "partner_counts",
+    "load_imbalance",
+    "particle_counts",
+]

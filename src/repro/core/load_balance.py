@@ -1,0 +1,75 @@
+"""Order-maintaining load balance (paper §5.1, after [10]).
+
+After a (sample or incremental) sort the per-rank counts are only
+approximately equal.  The order-maintaining balance step moves surplus
+elements to neighbouring positions of the *global concatenated order* so
+that every rank ends with the balanced count and the global order is
+unchanged: element ``g`` of the concatenation simply moves to the rank
+whose balanced slice contains ``g``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.collectives import exchange_by_destination
+from repro.machine.virtual import VirtualMachine
+from repro.mesh.decomposition import balanced_splits
+from repro.util import require
+
+__all__ = ["order_maintaining_balance"]
+
+
+def order_maintaining_balance(
+    vm: VirtualMachine,
+    keys: list[np.ndarray],
+    payloads: list[np.ndarray],
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Equalize per-rank counts without disturbing the global order.
+
+    Parameters
+    ----------
+    vm:
+        Virtual machine (costs charged under the current phase).
+    keys:
+        Per-rank sorted key arrays whose rank-order concatenation is
+        globally sorted.
+    payloads:
+        Per-rank 2-D row payloads aligned with ``keys``.
+
+    Returns
+    -------
+    (keys, payloads):
+        Re-balanced per-rank arrays: counts differ by at most one and
+        the global concatenation is unchanged.
+    """
+    p = vm.p
+    require(len(keys) == p and len(payloads) == p, "need one keys/payload per rank")
+    counts = np.array([k.shape[0] for k in keys], dtype=np.int64)
+    # Every rank learns all counts (global concatenation of scalars).
+    gathered = vm.allgather([int(c) for c in counts])[0]
+    counts = np.asarray(gathered, dtype=np.int64)
+    total = int(counts.sum())
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    target_bounds = balanced_splits(total, p)
+
+    # Destination of each element by its global position.
+    dests = []
+    for r in range(p):
+        gpos = offsets[r] + np.arange(counts[r], dtype=np.int64)
+        dests.append((np.searchsorted(target_bounds, gpos, side="right") - 1).astype(np.int64))
+    vm.charge_ops("sort", counts.astype(float))  # position computation
+
+    new_payloads = exchange_by_destination(vm, payloads, dests)
+    new_keys_2d = exchange_by_destination(vm, [k.reshape(-1, 1) for k in keys], dests)
+    new_keys = [k.reshape(-1) for k in new_keys_2d]
+
+    # exchange_by_destination concatenates in source-rank order, and
+    # within a source the stable split preserves order, so each rank's
+    # slice is exactly its balanced run of the old global order.
+    for r in range(p):
+        expected = int(target_bounds[r + 1] - target_bounds[r])
+        got = new_keys[r].shape[0]
+        if got != expected:  # pragma: no cover - invariant guard
+            raise AssertionError(f"rank {r}: balance produced {got} elements, expected {expected}")
+    return new_keys, new_payloads

@@ -1,0 +1,27 @@
+"""Load-balance and overhead accounting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.particles.arrays import ParticleArray
+
+__all__ = ["particle_counts", "load_imbalance"]
+
+
+def particle_counts(local_particles: list[ParticleArray]) -> np.ndarray:
+    """Per-rank particle counts."""
+    return np.array([parts.n for parts in local_particles], dtype=np.int64)
+
+
+def load_imbalance(counts: np.ndarray) -> float:
+    """``max / mean`` of a per-rank count array (1.0 = perfectly balanced).
+
+    Returns ``inf`` when some rank has work but the mean is 0 is
+    impossible; an all-zero array reports 1.0.
+    """
+    counts = np.asarray(counts, dtype=float)
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)

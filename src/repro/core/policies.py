@@ -1,0 +1,144 @@
+"""Redistribution decision policies (paper §5.2).
+
+* :class:`StaticPolicy` — never redistribute (the paper's "static"
+  baseline in Figure 16).
+* :class:`PeriodicPolicy` — redistribute every ``k`` iterations; needs
+  the impractical pre-runtime tuning of ``k`` the paper criticizes.
+* :class:`DynamicSARPolicy` — the Stop-At-Rise heuristic adapted to
+  communication growth (Eq. 1): redistribute when the projected time
+  saved, ``(t1 - t0) * (i1 - i0)``, exceeds the expected redistribution
+  cost (taken from the previous redistribution).
+
+Policies observe per-iteration execution times through
+:meth:`RedistributionPolicy.record_iteration` and are queried with
+:meth:`RedistributionPolicy.should_redistribute` after every iteration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.util import require, require_positive
+
+__all__ = [
+    "RedistributionPolicy",
+    "StaticPolicy",
+    "PeriodicPolicy",
+    "DynamicSARPolicy",
+    "make_policy",
+]
+
+
+class RedistributionPolicy(ABC):
+    """Decides, after each iteration, whether to redistribute particles."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def should_redistribute(self, iteration: int) -> bool:
+        """Return True to trigger redistribution after ``iteration``."""
+
+    def record_iteration(self, iteration: int, t_iter: float) -> None:
+        """Observe the execution time of ``iteration`` (seconds)."""
+
+    def record_redistribution(self, iteration: int, cost: float) -> None:
+        """Observe that a redistribution costing ``cost`` ran after ``iteration``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class StaticPolicy(RedistributionPolicy):
+    """Never redistribute."""
+
+    name = "static"
+
+    def should_redistribute(self, iteration: int) -> bool:
+        return False
+
+
+class PeriodicPolicy(RedistributionPolicy):
+    """Redistribute every ``period`` iterations (after iterations
+    ``period - 1``, ``2 * period - 1``, ...)."""
+
+    name = "periodic"
+
+    def __init__(self, period: int) -> None:
+        require(period >= 1, f"period must be >= 1, got {period}")
+        self.period = period
+
+    def should_redistribute(self, iteration: int) -> bool:
+        return (iteration + 1) % self.period == 0
+
+    def __repr__(self) -> str:
+        return f"PeriodicPolicy(period={self.period})"
+
+
+class DynamicSARPolicy(RedistributionPolicy):
+    """Stop-At-Rise policy (paper Eq. 1).
+
+    With ``i0`` the iteration right after the last redistribution,
+    ``t0`` its execution time, and ``t1`` the current iteration's time,
+    trigger when ``(t1 - t0) * (i1 - i0) >= T_redistribution``.
+
+    ``initial_cost`` seeds ``T_redistribution`` before the first
+    redistribution has been measured; the simulation driver passes the
+    cost of the setup distribution.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, initial_cost: float = 0.0) -> None:
+        require_positive(initial_cost, "initial_cost", strict=False)
+        self.redistribution_cost = float(initial_cost)
+        self._i0: int | None = None
+        self._t0: float | None = None
+        self._t1: float | None = None
+        self._i1: int | None = None
+
+    def record_iteration(self, iteration: int, t_iter: float) -> None:
+        if self._i0 is None:
+            self._i0 = iteration
+            self._t0 = t_iter
+        self._i1 = iteration
+        self._t1 = t_iter
+
+    def should_redistribute(self, iteration: int) -> bool:
+        if self._i0 is None or self._i1 is None:
+            return False
+        if self._i1 <= self._i0:
+            return False  # need at least one iteration since the last redistribution
+        rise = self._t1 - self._t0
+        if rise <= 0.0:
+            return False
+        saved = rise * (self._i1 - self._i0)
+        return saved >= self.redistribution_cost
+
+    def record_redistribution(self, iteration: int, cost: float) -> None:
+        self.redistribution_cost = float(cost)
+        self._i0 = None
+        self._t0 = None
+        self._i1 = None
+        self._t1 = None
+
+    def __repr__(self) -> str:
+        return f"DynamicSARPolicy(T_redistribution={self.redistribution_cost:g})"
+
+
+def make_policy(spec: str | RedistributionPolicy) -> RedistributionPolicy:
+    """Build a policy from a spec string.
+
+    Accepted forms: ``"static"``, ``"dynamic"``, ``"periodic:<k>"`` (e.g.
+    ``"periodic:25"``); an existing policy instance passes through.
+    """
+    if isinstance(spec, RedistributionPolicy):
+        return spec
+    if spec == "static":
+        return StaticPolicy()
+    if spec == "dynamic":
+        return DynamicSARPolicy()
+    if spec.startswith("periodic:"):
+        return PeriodicPolicy(int(spec.split(":", 1)[1]))
+    raise ValueError(
+        f"unknown policy spec {spec!r}; expected 'static', 'dynamic', or 'periodic:<k>'"
+    )

@@ -1,0 +1,121 @@
+"""Runtime particle redistribution driver (paper Figure 12, top level).
+
+``Particle_Redistribution`` in the paper is: Hilbert-base indexing →
+bucket incremental sorting → order-maintaining load balance → rebuild
+bucket boundaries.  :class:`Redistributor` packages that pipeline,
+carries the per-rank :class:`~repro.core.incremental_sort.BucketState`
+between epochs, and measures each redistribution's virtual cost (the
+``T_redistribution`` the dynamic policy trades against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.incremental_sort import (
+    BucketState,
+    IncrementalSortStats,
+    bucket_incremental_sort,
+)
+from repro.core.load_balance import order_maintaining_balance
+from repro.core.partitioner import ParticlePartitioner
+from repro.machine.virtual import VirtualMachine
+from repro.particles.arrays import ParticleArray
+from repro.util import require
+
+__all__ = ["Redistributor", "RedistributionResult"]
+
+
+@dataclass
+class RedistributionResult:
+    """Outcome of one redistribution epoch."""
+
+    particles: list[ParticleArray]  #: new per-rank particle sets
+    cost: float  #: virtual seconds spent (compute + communication)
+    stats: IncrementalSortStats  #: classification tallies (incremental path)
+
+
+class Redistributor:
+    """Maintains sorted order and rebalances particles across ranks.
+
+    Parameters
+    ----------
+    partitioner:
+        Supplies particle keys (cell curve positions).
+    nbuckets:
+        ``L`` buckets per rank for the incremental sort (paper Fig 12).
+    """
+
+    def __init__(self, partitioner: ParticlePartitioner, *, nbuckets: int = 16) -> None:
+        require(nbuckets >= 1, "nbuckets must be >= 1")
+        self.partitioner = partitioner
+        self.nbuckets = nbuckets
+        self._states: list[BucketState] | None = None
+
+    # ------------------------------------------------------------------
+    def initialize(self, vm: VirtualMachine, local_particles: list[ParticleArray]) -> RedistributionResult:
+        """Set up epoch 0 with the from-scratch distribution algorithm.
+
+        Runs the full index + parallel sample sort + balance pipeline on
+        ``vm`` (charged under phase ``"redistribution"``) and installs
+        the bucket states.  The measured cost seeds the dynamic policy's
+        ``T_redistribution`` estimate.
+        """
+        t0 = vm.elapsed()
+        with vm.phase("redistribution"):
+            particles = self.partitioner.distribute(vm, local_particles)
+            self._install_states(particles)
+        return RedistributionResult(particles, vm.elapsed() - t0, IncrementalSortStats())
+
+    def _install_states(self, particles: list[ParticleArray]) -> None:
+        states = []
+        for parts in particles:
+            keys = self.partitioner.particle_keys(parts)
+            if keys.size > 1 and np.any(np.diff(keys) < 0):  # pragma: no cover - invariant
+                raise AssertionError("distribution must produce key-sorted ranks")
+            states.append(BucketState.build(keys, parts.to_matrix(), self.nbuckets))
+        self._states = states
+
+    # ------------------------------------------------------------------
+    def redistribute(self, vm: VirtualMachine, local_particles: list[ParticleArray]) -> RedistributionResult:
+        """Incremental redistribution of the current particle sets.
+
+        ``local_particles`` must be the same sets (same order) produced
+        by the previous epoch — their rows correspond to the stored
+        bucket states; only the *positions* (hence keys) have changed.
+        """
+        require(self._states is not None, "initialize() must run before redistribute()")
+        states = self._states
+        require(len(local_particles) == vm.p, "need one particle set per rank")
+        t0 = vm.elapsed()
+        with vm.phase("redistribution"):
+            new_keys = []
+            counts = np.zeros(vm.p)
+            for r, parts in enumerate(local_particles):
+                require(
+                    parts.n == states[r].n,
+                    f"rank {r}: particle count changed outside redistribution",
+                )
+                # Refresh the payload matrix: positions/momenta moved.
+                states[r].payload = parts.to_matrix()
+                new_keys.append(self.partitioner.particle_keys(parts))
+                counts[r] = parts.n
+            self.partitioner.charge_indexing(vm, counts)
+            keys_out, payloads_out, stats = bucket_incremental_sort(vm, states, new_keys)
+            keys_bal, payloads_bal = order_maintaining_balance(vm, keys_out, payloads_out)
+            particles = [ParticleArray.from_matrix(mat) for mat in payloads_bal]
+            self._states = [
+                BucketState.build(keys_bal[r], payloads_bal[r], self.nbuckets)
+                for r in range(vm.p)
+            ]
+        return RedistributionResult(particles, vm.elapsed() - t0, stats)
+
+    def full_redistribute(self, vm: VirtualMachine, local_particles: list[ParticleArray]) -> RedistributionResult:
+        """From-scratch redistribution (sample sort), for comparison runs."""
+        t0 = vm.elapsed()
+        with vm.phase("redistribution"):
+            particles = self.partitioner.distribute(vm, local_particles)
+            self._install_states(particles)
+        return RedistributionResult(particles, vm.elapsed() - t0, IncrementalSortStats())

@@ -1,0 +1,38 @@
+"""Three-dimensional extension of the distribution machinery.
+
+The paper works in 2-D but notes that Hilbert indexing "can be
+generalized to n-dimensions" (§5.1) and that the cost analysis of "the
+three-dimensional case is similar" (§4).  This package extends the
+*contribution* — curve-index-based particle distribution, alignment, and
+redistribution — to 3-D:
+
+* :class:`Grid3D` — periodic 3-D cell grid with trilinear (CIC) vertex
+  weights (8 vertices per particle).
+* :class:`CurveBlockDecomposition3D` — cells ordered by the n-D Hilbert
+  transform (or row-major for comparison) and split into equal runs.
+* :class:`ParticlePartitioner3D` — index, sort, split, exactly as in 2-D.
+* :func:`deposit_density_3d` / :func:`gather_field_3d` — the 3-D
+  scatter/gather kernels whose vertex sets drive communication.
+
+The full 3-D electromagnetic field solve is out of scope (the paper
+evaluates only the 2-D code); the kernels here are what the alignment
+and distribution experiments need.
+"""
+
+from repro.ext3d.grid import Grid3D
+from repro.ext3d.decomposition import CurveBlockDecomposition3D
+from repro.ext3d.partitioner import ParticlePartitioner3D
+from repro.ext3d.kernels import deposit_density_3d, gather_field_3d
+from repro.ext3d.parallel import distributed_deposit_3d
+from repro.ext3d.sampling import gaussian_blob_3d, uniform_positions_3d
+
+__all__ = [
+    "Grid3D",
+    "CurveBlockDecomposition3D",
+    "ParticlePartitioner3D",
+    "deposit_density_3d",
+    "gather_field_3d",
+    "distributed_deposit_3d",
+    "uniform_positions_3d",
+    "gaussian_blob_3d",
+]

@@ -1,0 +1,47 @@
+"""3-D scatter/gather kernels (trilinear CIC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ext3d.grid import Grid3D
+from repro.util import require
+
+__all__ = ["deposit_density_3d", "gather_field_3d"]
+
+
+def deposit_density_3d(
+    grid: Grid3D,
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    charge: np.ndarray | float = 1.0,
+) -> np.ndarray:
+    """Deposit per-particle ``charge`` onto the 3-D node grid (CIC).
+
+    Returns a flat array of length ``nnodes`` in density units
+    (per cell volume).
+    """
+    nodes, weights = grid.cic_vertices_weights(x, y, z)
+    charge = np.broadcast_to(np.asarray(charge, float), (nodes.shape[0],))
+    amounts = weights * charge[:, None]
+    out = np.bincount(nodes.ravel(), weights=amounts.ravel(), minlength=grid.nnodes)
+    return out / (grid.dx * grid.dy * grid.dz)
+
+
+def gather_field_3d(
+    grid: Grid3D,
+    node_values: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+) -> np.ndarray:
+    """Interpolate flat node data to particle positions (CIC).
+
+    ``node_values`` has length ``nnodes``; returns one value per
+    particle.
+    """
+    node_values = np.asarray(node_values, float)
+    require(node_values.shape == (grid.nnodes,), f"node_values must have length {grid.nnodes}")
+    nodes, weights = grid.cic_vertices_weights(x, y, z)
+    return (node_values[nodes] * weights).sum(axis=1)

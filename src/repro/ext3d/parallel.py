@@ -1,0 +1,84 @@
+"""Distributed 3-D charge deposition over the virtual machine.
+
+The 3-D analogue of the 2-D parallel scatter phase: each rank deposits
+its particles' trilinear contributions, off-rank vertices pass through
+a ghost table (duplicate removal + coalescing), and one message per
+destination delivers the sums.  Used to demonstrate that the alignment
+results carry to 3-D with 8 vertices per particle instead of 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ext3d.decomposition import CurveBlockDecomposition3D
+from repro.ext3d.grid import Grid3D
+from repro.machine.virtual import VirtualMachine
+from repro.pic.ghost import make_ghost_table
+from repro.util import require
+
+__all__ = ["distributed_deposit_3d"]
+
+
+def distributed_deposit_3d(
+    vm: VirtualMachine,
+    grid: Grid3D,
+    decomp: CurveBlockDecomposition3D,
+    positions: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    charges: list[np.ndarray],
+    *,
+    ghost_table: str = "hash",
+) -> np.ndarray:
+    """Deposit per-rank particle charges onto the 3-D grid with ghost
+    communication.
+
+    Parameters
+    ----------
+    vm, grid, decomp:
+        Machine, geometry, and cell ownership.
+    positions:
+        Per-rank ``(x, y, z)`` arrays.
+    charges:
+        Per-rank charge arrays aligned with the positions.
+
+    Returns
+    -------
+    numpy.ndarray
+        Flat density (per cell volume) over all nodes — identical (to
+        float tolerance) to a sequential
+        :func:`repro.ext3d.kernels.deposit_density_3d` of the union.
+    """
+    require(len(positions) == vm.p and len(charges) == vm.p, "need one set per rank")
+    nnodes = grid.nnodes
+    owner_map = decomp.owner_map
+    acc = np.zeros(nnodes)
+    with vm.phase("scatter"):
+        sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+        counts = np.zeros(vm.p)
+        for r in range(vm.p):
+            x, y, z = positions[r]
+            charge = np.asarray(charges[r], float)
+            require(charge.shape == x.shape, f"rank {r}: charge/position mismatch")
+            counts[r] = x.shape[0]
+            nodes, weights = grid.cic_vertices_weights(x, y, z)
+            values = (weights * charge[:, None]).ravel()
+            flat = nodes.ravel()
+            owners = owner_map[flat]
+            mine = owners == r
+            acc += np.bincount(flat[mine], weights=values[mine], minlength=nnodes)
+            table = make_ghost_table(ghost_table, nnodes, 1)
+            table.accumulate(flat[~mine], values[~mine][None, :])
+            uniq, summed = table.flush()
+            chunk: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            if uniq.size:
+                ghost_owner = owner_map[uniq]
+                for owner in np.unique(ghost_owner):
+                    sel = ghost_owner == owner
+                    chunk[int(owner)] = (uniq[sel], np.ascontiguousarray(summed[:, sel]))
+            sends.append(chunk)
+        vm.charge_ops("scatter", 8.0 * counts)  # 8 vertices per particle in 3-D
+        recv = vm.alltoallv(sends)
+        for r in range(vm.p):
+            for _, (ids, vals) in sorted(recv[r].items()):
+                acc += np.bincount(ids, weights=vals[0], minlength=nnodes)
+    return acc / (grid.dx * grid.dy * grid.dz)

@@ -1,0 +1,47 @@
+"""Space-filling-curve indexing schemes for cells and processors.
+
+The paper's central mechanism (its §5.1) is to linearize the 2-D cell
+grid with an index that preserves spatial proximity, assign each particle
+the index of its enclosing cell, and distribute the sorted particle array
+in equal contiguous slices.  This package provides the index schemes the
+paper evaluates — Hilbert and snakelike — plus row-major and Morton
+orders for ablation, all vectorized over NumPy arrays.
+
+Public API
+----------
+* :class:`IndexingScheme` — abstract interface (``keys``, ``ordering``).
+* :class:`HilbertIndexing`, :class:`SnakeIndexing`,
+  :class:`RowMajorIndexing`, :class:`MortonIndexing` — concrete schemes.
+* :func:`get_scheme` — look a scheme up by name (``"hilbert"`` etc.).
+* Low-level transforms: :func:`hilbert_xy_to_d`, :func:`hilbert_d_to_xy`,
+  :func:`hilbert_encode_nd`, :func:`hilbert_decode_nd`.
+"""
+
+from repro.indexing.base import IndexingScheme
+from repro.indexing.hilbert import (
+    HilbertIndexing,
+    hilbert_d_to_xy,
+    hilbert_decode_nd,
+    hilbert_encode_nd,
+    hilbert_xy_to_d,
+)
+from repro.indexing.morton import MortonIndexing, morton_encode_2d
+from repro.indexing.rowmajor import RowMajorIndexing
+from repro.indexing.snake import SnakeIndexing
+from repro.indexing.registry import available_schemes, get_scheme, register_scheme
+
+__all__ = [
+    "IndexingScheme",
+    "HilbertIndexing",
+    "SnakeIndexing",
+    "RowMajorIndexing",
+    "MortonIndexing",
+    "hilbert_xy_to_d",
+    "hilbert_d_to_xy",
+    "hilbert_encode_nd",
+    "hilbert_decode_nd",
+    "morton_encode_2d",
+    "get_scheme",
+    "register_scheme",
+    "available_schemes",
+]

@@ -1,0 +1,76 @@
+"""Abstract interface for 2-D grid indexing schemes.
+
+An indexing scheme maps integer cell coordinates ``(ix, iy)`` of an
+``nx x ny`` grid to scalar *keys* whose total order defines the curve.
+Keys need not be dense (the Hilbert scheme embeds non-power-of-two grids
+into an enclosing power-of-two curve) — only their relative order is
+used by the partitioner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util import require
+
+__all__ = ["IndexingScheme"]
+
+
+class IndexingScheme(ABC):
+    """Orders the cells of a 2-D grid along a 1-D curve.
+
+    Subclasses implement :meth:`keys`; :meth:`ordering` and
+    :meth:`positions` are derived.
+    """
+
+    #: Registry name of the scheme (e.g. ``"hilbert"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def keys(self, ix: np.ndarray, iy: np.ndarray, nx: int, ny: int) -> np.ndarray:
+        """Return int64 sort keys for cells ``(ix, iy)`` of an ``nx x ny`` grid.
+
+        Parameters
+        ----------
+        ix, iy:
+            Integer cell coordinates, ``0 <= ix < nx`` and ``0 <= iy < ny``.
+            Arbitrary (broadcastable) array shapes are accepted.
+        nx, ny:
+            Grid extent in cells.
+        """
+
+    def _validate(self, ix: np.ndarray, iy: np.ndarray, nx: int, ny: int) -> tuple[np.ndarray, np.ndarray]:
+        require(nx >= 1 and ny >= 1, f"grid extent must be >= 1, got {nx}x{ny}")
+        ix = np.asarray(ix, dtype=np.int64)
+        iy = np.asarray(iy, dtype=np.int64)
+        if ix.size and (ix.min() < 0 or ix.max() >= nx):
+            raise ValueError(f"ix out of range [0, {nx}): [{ix.min()}, {ix.max()}]")
+        if iy.size and (iy.min() < 0 or iy.max() >= ny):
+            raise ValueError(f"iy out of range [0, {ny}): [{iy.min()}, {iy.max()}]")
+        return ix, iy
+
+    def ordering(self, nx: int, ny: int) -> np.ndarray:
+        """Return row-major cell ids sorted along the curve.
+
+        ``ordering(nx, ny)[k]`` is the row-major id (``iy * nx + ix``) of
+        the ``k``-th cell along the curve.
+        """
+        iy, ix = np.divmod(np.arange(nx * ny, dtype=np.int64), nx)
+        keys = self.keys(ix, iy, nx, ny)
+        return np.argsort(keys, kind="stable").astype(np.int64)
+
+    def positions(self, nx: int, ny: int) -> np.ndarray:
+        """Return the curve position (rank) of every cell, row-major order.
+
+        This is the inverse permutation of :meth:`ordering`: cell ``c``
+        (row-major id) is the ``positions(...)[c]``-th cell along the curve.
+        """
+        order = self.ordering(nx, ny)
+        pos = np.empty_like(order)
+        pos[order] = np.arange(order.size, dtype=np.int64)
+        return pos
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,52 @@
+"""Morton (Z-order) grid ordering.
+
+Not evaluated in the paper; included as an ablation point between
+row-major/snake (1-D locality) and Hilbert (2-D locality with no jumps):
+Morton preserves 2-D locality on average but has long diagonal jumps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.indexing.base import IndexingScheme
+from repro.indexing.hilbert import hilbert_order_for
+from repro.util import require
+
+__all__ = ["MortonIndexing", "morton_encode_2d"]
+
+
+def _part1by1(v: np.ndarray) -> np.ndarray:
+    """Spread the low 31 bits of ``v`` so a zero sits between each pair."""
+    v = v.astype(np.int64) & np.int64(0x7FFFFFFF)
+    v = (v | (v << 16)) & np.int64(0x0000FFFF0000FFFF)
+    v = (v | (v << 8)) & np.int64(0x00FF00FF00FF00FF)
+    v = (v | (v << 4)) & np.int64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v << 2)) & np.int64(0x3333333333333333)
+    v = (v | (v << 1)) & np.int64(0x5555555555555555)
+    return v
+
+
+def morton_encode_2d(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Interleave the bits of ``x`` and ``y`` into Morton codes.
+
+    Both inputs must be non-negative and fit in 31 bits.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    if x.size and (x.min() < 0 or x.max() >= (1 << 31)):
+        raise ValueError("x out of range [0, 2^31)")
+    if y.size and (y.min() < 0 or y.max() >= (1 << 31)):
+        raise ValueError("y out of range [0, 2^31)")
+    return _part1by1(x) | (_part1by1(y) << 1)
+
+
+class MortonIndexing(IndexingScheme):
+    """Morton/Z-order: bit-interleaved ``(ix, iy)``."""
+
+    name = "morton"
+
+    def keys(self, ix: np.ndarray, iy: np.ndarray, nx: int, ny: int) -> np.ndarray:
+        ix, iy = self._validate(ix, iy, nx, ny)
+        require(hilbert_order_for(nx, ny) <= 31, "grid too large for Morton keys")
+        return morton_encode_2d(ix, iy)

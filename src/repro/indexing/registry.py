@@ -1,0 +1,56 @@
+"""Name-based registry of indexing schemes.
+
+Experiments are configured with scheme *names* (``"hilbert"``,
+``"snake"``...) so that sweeps like Table 2 are data-driven.  Users can
+register custom schemes with :func:`register_scheme`.
+"""
+
+from __future__ import annotations
+
+from repro.indexing.base import IndexingScheme
+from repro.indexing.hilbert import HilbertIndexing
+from repro.indexing.morton import MortonIndexing
+from repro.indexing.rowmajor import RowMajorIndexing
+from repro.indexing.snake import SnakeIndexing
+
+__all__ = ["get_scheme", "register_scheme", "available_schemes"]
+
+_REGISTRY: dict[str, type[IndexingScheme]] = {}
+
+
+def register_scheme(cls: type[IndexingScheme]) -> type[IndexingScheme]:
+    """Register an :class:`IndexingScheme` subclass under ``cls.name``.
+
+    Usable as a decorator.  Re-registering a name overwrites the previous
+    entry (deliberately, so tests can stub schemes).
+    """
+    if not (isinstance(cls, type) and issubclass(cls, IndexingScheme)):
+        raise TypeError(f"expected an IndexingScheme subclass, got {cls!r}")
+    if not cls.name or cls.name == "abstract":
+        raise ValueError("scheme class must define a non-default `name`")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheme(name: str | IndexingScheme) -> IndexingScheme:
+    """Return an instance of the scheme registered under ``name``.
+
+    An :class:`IndexingScheme` instance is passed through unchanged, so
+    APIs can accept either form.
+    """
+    if isinstance(name, IndexingScheme):
+        return name
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown indexing scheme {name!r}; known schemes: {known}") from None
+
+
+def available_schemes() -> list[str]:
+    """Return the sorted names of all registered schemes."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (HilbertIndexing, SnakeIndexing, RowMajorIndexing, MortonIndexing):
+    register_scheme(_cls)

@@ -1,0 +1,23 @@
+"""Row-major (lexicographic) grid ordering.
+
+Keeps proximity only along rows (paper §5.1, Figure 9a); included as the
+weakest baseline for the indexing-quality ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.indexing.base import IndexingScheme
+
+__all__ = ["RowMajorIndexing"]
+
+
+class RowMajorIndexing(IndexingScheme):
+    """Row-major ordering: ``key = iy * nx + ix``."""
+
+    name = "rowmajor"
+
+    def keys(self, ix: np.ndarray, iy: np.ndarray, nx: int, ny: int) -> np.ndarray:
+        ix, iy = self._validate(ix, iy, nx, ny)
+        return iy * np.int64(nx) + ix

@@ -1,0 +1,41 @@
+"""Virtual coarse-grained distributed-memory machine (the CM-5 substitute).
+
+The paper evaluates on a 32–128 node TMC CM-5 and models it (its §4) with
+a *two-level* cost model: unit computation ``delta``, message start-up
+``tau``, and inverse bandwidth ``mu``, independent of distance and
+congestion.  This package provides exactly that machine as a simulation
+substrate:
+
+* :class:`MachineModel` — the (delta, tau, mu) constants plus per-category
+  unit-operation costs; CM-5 and modern-cluster presets.
+* :class:`VirtualMachine` — ``p`` virtual ranks with per-rank virtual
+  clocks.  SPMD phase code runs rank-by-rank on real NumPy data;
+  communication physically moves buffers between ranks while the clocks
+  advance according to the cost model.
+* :class:`CommStats` — per-phase, per-rank message/byte accounting, the
+  source of the paper's Figures 18/19 ("max data / max messages sent or
+  received by any processor").
+* :class:`BlockTopology` — 2-D processor grids and neighbour maps for
+  halo exchanges.
+
+The machine is *bulk-synchronous*: each PIC phase ends in a barrier, so
+per-iteration virtual time is the sum over phases of the slowest rank's
+(compute + communication) cost — the same structure as the paper's
+complexity analysis.
+"""
+
+from repro.machine.model import MachineModel
+from repro.machine.stats import CommStats, PhaseComm
+from repro.machine.topology import BlockTopology, best_process_grid
+from repro.machine.trace import PhaseTrace
+from repro.machine.virtual import VirtualMachine
+
+__all__ = [
+    "MachineModel",
+    "VirtualMachine",
+    "CommStats",
+    "PhaseComm",
+    "BlockTopology",
+    "best_process_grid",
+    "PhaseTrace",
+]

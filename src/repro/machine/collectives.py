@@ -1,0 +1,95 @@
+"""Higher-level communication patterns built on the virtual machine.
+
+These are the reusable schedules the PIC phases and the redistribution
+algorithms share:
+
+* :func:`alltoall_concat` — all-to-many exchange followed by per-rank
+  concatenation of received arrays (particle migration, sorted merges).
+* :func:`exchange_by_destination` — split a per-rank array by a
+  destination map and deliver the pieces (one call = the paper's
+  ``All-to-many_COMM`` on a send-list table).
+* :func:`halo_sendrecv` — neighbour exchange for field halos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.virtual import VirtualMachine
+from repro.util import require
+
+__all__ = ["alltoall_concat", "exchange_by_destination", "halo_sendrecv"]
+
+
+def alltoall_concat(
+    vm: VirtualMachine,
+    send: list[dict[int, np.ndarray]],
+) -> list[np.ndarray]:
+    """All-to-many exchange returning, per rank, the received arrays
+    concatenated in source-rank order.
+
+    Empty receives produce a zero-length array matching the dtype of any
+    payload sent anywhere (or float64 if the whole exchange is empty).
+    """
+    recv = vm.alltoallv(send)
+    template = None
+    for chunks in send:
+        for payload in chunks.values():
+            template = payload
+            break
+        if template is not None:
+            break
+    out: list[np.ndarray] = []
+    for dst in range(vm.p):
+        parts = [recv[dst][src] for src in sorted(recv[dst])]
+        if parts:
+            out.append(np.concatenate(parts))
+        elif template is not None:
+            out.append(np.empty((0,) + template.shape[1:], dtype=template.dtype))
+        else:
+            out.append(np.empty(0, dtype=np.float64))
+    return out
+
+
+def exchange_by_destination(
+    vm: VirtualMachine,
+    arrays: list[np.ndarray],
+    destinations: list[np.ndarray],
+) -> list[np.ndarray]:
+    """Route each element of each rank's array to the rank named by
+    ``destinations`` and return, per rank, the concatenation of what it
+    received (source-rank order, stable within a source).
+
+    ``arrays[r]`` and ``destinations[r]`` must have equal length;
+    destination values must be valid ranks.
+    """
+    require(len(arrays) == vm.p and len(destinations) == vm.p, "need one array per rank")
+    send: list[dict[int, np.ndarray]] = []
+    for r in range(vm.p):
+        arr = np.asarray(arrays[r])
+        dest = np.asarray(destinations[r], dtype=np.int64)
+        require(arr.shape[0] == dest.shape[0], f"rank {r}: array/destination length mismatch")
+        if dest.size and (dest.min() < 0 or dest.max() >= vm.p):
+            raise ValueError(f"rank {r}: destination out of range [0, {vm.p})")
+        chunks: dict[int, np.ndarray] = {}
+        if dest.size:
+            order = np.argsort(dest, kind="stable")
+            sorted_dest = dest[order]
+            sorted_arr = arr[order]
+            uniq, starts = np.unique(sorted_dest, return_index=True)
+            bounds = np.append(starts, dest.size)
+            for i, d in enumerate(uniq):
+                chunks[int(d)] = sorted_arr[bounds[i] : bounds[i + 1]]
+        send.append(chunks)
+    return alltoall_concat(vm, send)
+
+
+def halo_sendrecv(
+    vm: VirtualMachine,
+    messages: list[dict[int, np.ndarray]],
+) -> list[dict[int, np.ndarray]]:
+    """Neighbour (halo) exchange — semantically :meth:`VirtualMachine.alltoallv`
+    but named for readability at call sites; kept synchronous because the
+    field stencil needs all halos before updating.
+    """
+    return vm.alltoallv(messages)

@@ -1,0 +1,99 @@
+"""Processor-grid topology helpers.
+
+The mesh is BLOCK-distributed over a ``pr x pc`` logical processor grid
+(paper §3.1); the field-solve phase exchanges halos with the four grid
+neighbours.  :class:`BlockTopology` provides rank <-> (row, col) mapping
+and neighbour lookup with periodic or open boundaries, and
+:func:`best_process_grid` picks the most square factorization of ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import require
+
+__all__ = ["best_process_grid", "BlockTopology"]
+
+
+def best_process_grid(p: int) -> tuple[int, int]:
+    """Return the factorization ``(pr, pc)`` of ``p`` closest to square.
+
+    ``pr * pc == p`` with ``pr <= pc`` and ``pc - pr`` minimal.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    best = (1, p)
+    for pr in range(1, int(np.sqrt(p)) + 1):
+        if p % pr == 0:
+            best = (pr, p // pr)
+    return best
+
+
+class BlockTopology:
+    """A 2-D logical processor grid with 4-neighbour connectivity.
+
+    Parameters
+    ----------
+    pr, pc:
+        Processor-grid rows and columns; ranks are row-major over the
+        grid (rank = ``row * pc + col``).
+    periodic:
+        If True, neighbour lookups wrap around (matching periodic field
+        boundary conditions); otherwise edge ranks have ``None``
+        neighbours on the boundary sides.
+    """
+
+    def __init__(self, pr: int, pc: int, *, periodic: bool = True) -> None:
+        require(pr >= 1 and pc >= 1, f"grid must be >= 1x1, got {pr}x{pc}")
+        self.pr = pr
+        self.pc = pc
+        self.p = pr * pc
+        self.periodic = periodic
+
+    @classmethod
+    def square_ish(cls, p: int, *, periodic: bool = True) -> "BlockTopology":
+        """Build the most-square topology for ``p`` ranks."""
+        pr, pc = best_process_grid(p)
+        return cls(pr, pc, periodic=periodic)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """Return ``(row, col)`` of ``rank``."""
+        require(0 <= rank < self.p, f"rank {rank} out of range [0, {self.p})")
+        return divmod(rank, self.pc)
+
+    def rank(self, row: int, col: int) -> int:
+        """Return the rank at ``(row, col)``, applying wrap if periodic."""
+        if self.periodic:
+            row %= self.pr
+            col %= self.pc
+        require(0 <= row < self.pr and 0 <= col < self.pc, f"coords ({row}, {col}) out of range")
+        return row * self.pc + col
+
+    def neighbors(self, rank: int) -> dict[str, int | None]:
+        """Return the four grid neighbours of ``rank``.
+
+        Keys are ``"north"`` (row-1), ``"south"`` (row+1), ``"west"``
+        (col-1), ``"east"`` (col+1); values are ranks or ``None`` on an
+        open boundary.  A neighbour that wraps onto the rank itself
+        (degenerate 1-wide periodic grids) is reported normally — callers
+        that exchange halos handle self-sends locally.
+        """
+        row, col = self.coords(rank)
+        out: dict[str, int | None] = {}
+        for key, (dr, dc) in {
+            "north": (-1, 0),
+            "south": (1, 0),
+            "west": (0, -1),
+            "east": (0, 1),
+        }.items():
+            nr, nc = row + dr, col + dc
+            if self.periodic:
+                out[key] = self.rank(nr, nc)
+            elif 0 <= nr < self.pr and 0 <= nc < self.pc:
+                out[key] = self.rank(nr, nc)
+            else:
+                out[key] = None
+        return out
+
+    def __repr__(self) -> str:
+        return f"BlockTopology({self.pr}x{self.pc}, periodic={self.periodic})"

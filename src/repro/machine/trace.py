@@ -1,0 +1,101 @@
+"""Execution tracing: per-phase, per-iteration timeline of a run.
+
+:class:`PhaseTrace` snapshots the virtual machine's phase clocks after
+every iteration, producing the data for an execution-profile view: how
+the time of each phase (scatter / field / gather / push /
+redistribution) evolves over the run, and an ASCII "stacked bar"
+rendering for terminals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.virtual import VirtualMachine
+from repro.util import require
+
+__all__ = ["PhaseTrace"]
+
+
+class PhaseTrace:
+    """Record per-iteration phase times from a virtual machine.
+
+    Call :meth:`snapshot` once per iteration; each snapshot stores the
+    *increment* of every phase's max-over-ranks time since the previous
+    snapshot.
+    """
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+        self._last: dict[str, float] = {}
+        self.rows: list[dict[str, float]] = []
+
+    def snapshot(self) -> dict[str, float]:
+        """Record and return this iteration's per-phase time increments."""
+        current = self.vm.phase_breakdown()
+        increment = {
+            phase: current.get(phase, 0.0) - self._last.get(phase, 0.0)
+            for phase in set(current) | set(self._last)
+        }
+        self._last = current
+        self.rows.append(increment)
+        return increment
+
+    # ------------------------------------------------------------------
+    @property
+    def phases(self) -> list[str]:
+        """All phase labels seen, sorted."""
+        seen: set[str] = set()
+        for row in self.rows:
+            seen.update(k for k, v in row.items() if v > 0)
+        return sorted(seen)
+
+    def series(self, phase: str) -> np.ndarray:
+        """Per-iteration time series of one phase (zeros where absent)."""
+        return np.array([row.get(phase, 0.0) for row in self.rows])
+
+    def totals(self) -> dict[str, float]:
+        """Total time per phase over the trace."""
+        return {phase: float(self.series(phase).sum()) for phase in self.phases}
+
+    def render(self, *, width: int = 60) -> str:
+        """ASCII profile: one stacked bar of phase shares per trace row
+        group (rows are bucketed to at most ``width`` columns)."""
+        require(bool(self.rows), "no snapshots recorded")
+        phases = self.phases
+        glyphs = "SFGPRMX"  # scatter field gather push redistribution migration other
+        glyph_of = {}
+        for phase in phases:
+            for key, glyph in (
+                ("scatter", "S"),
+                ("field", "F"),
+                ("gather", "G"),
+                ("push", "P"),
+                ("redistribution", "R"),
+                ("migration", "M"),
+            ):
+                if phase == key:
+                    glyph_of[phase] = glyph
+                    break
+            else:
+                glyph_of[phase] = "X"
+        lines = ["phase profile (per-iteration share):"]
+        legend = ", ".join(f"{glyph_of[p]}={p}" for p in phases)
+        lines.append(legend)
+        nrows = len(self.rows)
+        buckets = np.linspace(0, nrows, min(width, nrows) + 1).astype(int)
+        bar_height = 10
+        grid_cols = []
+        for a, b in zip(buckets[:-1], buckets[1:]):
+            sums = {p: float(self.series(p)[a:b].sum()) for p in phases}
+            total = sum(sums.values())
+            column = []
+            if total > 0:
+                for p in phases:
+                    column.extend(glyph_of[p] * int(round(bar_height * sums[p] / total)))
+            column = (column + [" "] * bar_height)[:bar_height]
+            grid_cols.append(column)
+        for level in range(bar_height - 1, -1, -1):
+            lines.append("|" + "".join(col[level] for col in grid_cols))
+        lines.append("+" + "-" * len(grid_cols))
+        return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""The virtual machine: ranks, virtual clocks, and cost charging.
+
+:class:`VirtualMachine` hosts ``p`` virtual ranks.  SPMD phase code runs
+rank-by-rank inside one Python process on real NumPy data; the machine
+advances per-rank *virtual clocks* according to the two-level cost model
+and logs message traffic in :class:`repro.machine.stats.CommStats`.
+
+Execution is bulk-synchronous: communication calls end in a barrier by
+default, so elapsed virtual time is the sum over phases of the slowest
+rank's cost — matching the paper's §4 analysis, where every phase bound
+is ``max`` over processors of compute + communication.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.machine.model import MachineModel
+from repro.machine.stats import CommStats
+from repro.util import require
+
+__all__ = ["VirtualMachine"]
+
+
+class VirtualMachine:
+    """A ``p``-rank virtual distributed-memory machine.
+
+    Parameters
+    ----------
+    p:
+        Number of virtual processors.
+    model:
+        Cost model; defaults to :meth:`MachineModel.cm5`.
+
+    Attributes
+    ----------
+    clocks:
+        Per-rank virtual clocks in seconds.
+    compute_time, comm_time:
+        Cumulative per-rank compute / communication charges (used to
+        split "computation" from "overhead" like Figures 21–22).
+    stats:
+        The :class:`CommStats` ledger of message traffic.
+    """
+
+    def __init__(self, p: int, model: MachineModel | None = None) -> None:
+        require(p >= 1, f"p must be >= 1, got {p}")
+        self.p = p
+        self.model = model if model is not None else MachineModel.cm5()
+        self.clocks = np.zeros(p)
+        self.compute_time = np.zeros(p)
+        self.comm_time = np.zeros(p)
+        self.stats = CommStats(p)
+        self.phase_time: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(self.p))
+        self._phase_stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        """Label under which costs/statistics are currently recorded."""
+        return self._phase_stack[-1] if self._phase_stack else "default"
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scope costs and statistics under phase ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    # time accounting
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Virtual seconds since construction (slowest rank's clock)."""
+        return float(self.clocks.max())
+
+    def barrier(self) -> None:
+        """Synchronize all ranks to the slowest clock."""
+        self.clocks[:] = self.clocks.max()
+
+    def _charge(self, seconds: np.ndarray, *, kind: str) -> None:
+        seconds = np.broadcast_to(np.asarray(seconds, dtype=float), (self.p,))
+        if seconds.min() < 0:
+            raise ValueError("cannot charge negative time")
+        self.clocks += seconds
+        self.phase_time[self.current_phase] = self.phase_time[self.current_phase] + seconds
+        if kind == "compute":
+            self.compute_time += seconds
+        elif kind == "comm":
+            self.comm_time += seconds
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown charge kind {kind!r}")
+
+    def charge_ops(self, category: str, counts: float | np.ndarray) -> None:
+        """Charge per-rank computation: ``counts`` operations of ``category``.
+
+        ``counts`` may be a scalar (same on every rank) or an array of
+        length ``p``.
+        """
+        counts = np.broadcast_to(np.asarray(counts, dtype=float), (self.p,))
+        seconds = np.array([self.model.compute_cost(category, c) for c in counts])
+        self._charge(seconds, kind="compute")
+
+    def charge_compute_seconds(self, seconds: float | np.ndarray) -> None:
+        """Charge pre-computed per-rank compute seconds."""
+        self._charge(np.asarray(seconds, dtype=float), kind="compute")
+
+    def charge_comm_seconds(self, seconds: float | np.ndarray) -> None:
+        """Charge pre-computed per-rank communication seconds."""
+        self._charge(np.asarray(seconds, dtype=float), kind="comm")
+
+    # ------------------------------------------------------------------
+    # point-to-point bulk exchange (the paper's All-to-many_COMM)
+    # ------------------------------------------------------------------
+    def alltoallv(
+        self,
+        send: list[dict[int, np.ndarray]],
+        *,
+        sync: bool = True,
+    ) -> list[dict[int, np.ndarray]]:
+        """Exchange per-destination buffers between all ranks.
+
+        Parameters
+        ----------
+        send:
+            ``send[src]`` maps destination rank to a NumPy array (or a
+            tuple of arrays) to deliver.  Missing destinations mean "no
+            message".  Self-sends are delivered for free (local copy) and
+            do not appear in the statistics.
+        sync:
+            End with a barrier (default) — the bulk-synchronous semantics
+            used by every PIC phase.
+
+        Returns
+        -------
+        list of dict
+            ``recv[dst]`` maps source rank to the delivered payload.
+
+        Notes
+        -----
+        Payloads are handed over by reference; after the call the
+        receiver owns them and senders must not mutate them.
+        Per-rank cost is ``tau * (msgs_sent + msgs_recv) + mu *
+        (bytes_out + bytes_in)``, the paper's two-level model with both
+        endpoints paying start-up.
+        """
+        require(len(send) == self.p, f"send must have one entry per rank ({self.p})")
+        recv: list[dict[int, np.ndarray]] = [dict() for _ in range(self.p)]
+        msgs_out = np.zeros(self.p, dtype=np.int64)
+        msgs_in = np.zeros(self.p, dtype=np.int64)
+        bytes_out = np.zeros(self.p, dtype=np.int64)
+        bytes_in = np.zeros(self.p, dtype=np.int64)
+        phase = self.current_phase
+        for src, chunks in enumerate(send):
+            for dst, payload in chunks.items():
+                require(0 <= dst < self.p, f"destination rank {dst} out of range")
+                recv[dst][src] = payload
+                if dst == src:
+                    continue  # local copy: free, not a message
+                nbytes = payload_nbytes(payload)
+                msgs_out[src] += 1
+                bytes_out[src] += nbytes
+                msgs_in[dst] += 1
+                bytes_in[dst] += nbytes
+                self.stats.record_message(phase, src, dst, nbytes)
+        seconds = self.model.tau * (msgs_out + msgs_in) + self.model.mu * (bytes_out + bytes_in)
+        self._charge(seconds, kind="comm")
+        if sync:
+            self.barrier()
+        return recv
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def allgather(self, values: list, *, nbytes_each: np.ndarray | None = None) -> list[list]:
+        """Global concatenation: every rank receives ``[v_0, ..., v_{p-1}]``.
+
+        ``nbytes_each`` overrides the payload-size estimate per rank.
+        """
+        require(len(values) == self.p, "values must have one entry per rank")
+        if nbytes_each is None:
+            nbytes_each = np.array([payload_nbytes(v) for v in values], dtype=np.int64)
+        else:
+            nbytes_each = np.asarray(nbytes_each, dtype=np.int64)
+        total = int(nbytes_each.sum())
+        cost = self.model.collective_cost(self.p, total)
+        self.stats.record_collective(self.current_phase, nbytes_each)
+        self._charge(np.full(self.p, cost), kind="comm")
+        self.barrier()
+        return [list(values) for _ in range(self.p)]
+
+    def allreduce(self, arrays: list[np.ndarray], op: str = "sum") -> list[np.ndarray]:
+        """Element-wise reduction across ranks; every rank gets the result.
+
+        Supported ``op``: ``"sum"``, ``"max"``, ``"min"``.
+        """
+        require(len(arrays) == self.p, "arrays must have one entry per rank")
+        stack = [np.asarray(a) for a in arrays]
+        shapes = {a.shape for a in stack}
+        require(len(shapes) == 1, f"all ranks must contribute the same shape, got {shapes}")
+        if op == "sum":
+            result = np.sum(stack, axis=0)
+        elif op == "max":
+            result = np.max(stack, axis=0)
+        elif op == "min":
+            result = np.min(stack, axis=0)
+        else:
+            raise ValueError(f"unsupported reduction op {op!r}")
+        nbytes = stack[0].nbytes
+        cost = self.model.collective_cost(self.p, nbytes)
+        self.stats.record_collective(self.current_phase, np.full(self.p, nbytes, dtype=np.int64))
+        self._charge(np.full(self.p, cost), kind="comm")
+        self.barrier()
+        return [result.copy() for _ in range(self.p)]
+
+    def allreduce_scalar(self, values: list[float], op: str = "sum") -> float:
+        """Scalar reduction convenience wrapper around :meth:`allreduce`."""
+        arrays = [np.asarray([v], dtype=float) for v in values]
+        return float(self.allreduce(arrays, op=op)[0][0])
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def phase_breakdown(self) -> dict[str, float]:
+        """Max-over-ranks cumulative time charged under each phase label."""
+        return {name: float(t.max()) for name, t in self.phase_time.items()}
+
+    def __repr__(self) -> str:
+        return f"VirtualMachine(p={self.p}, model={self.model.name!r}, t={self.elapsed():.3f}s)"
+
+
+def payload_nbytes(payload) -> int:
+    """Best-effort wire size of a message payload in bytes.
+
+    NumPy arrays report ``nbytes``; tuples/lists of arrays sum their
+    members; other objects are charged 8 bytes per ``len`` item or a
+    64-byte flat rate.
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (tuple, list)):
+        if all(isinstance(x, np.ndarray) for x in payload):
+            return int(sum(x.nbytes for x in payload))
+        return 8 * len(payload)
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    try:
+        return 8 * len(payload)
+    except TypeError:
+        return 64

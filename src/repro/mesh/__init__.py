@@ -1,0 +1,37 @@
+"""Mesh substrate: grid geometry, field storage, and domain decomposition.
+
+The PIC mesh is a regular 2-D grid of cells with one field node per cell
+(periodic boundaries), BLOCK-distributed over processors (paper §1).
+Two decomposition families are provided:
+
+* :class:`CurveBlockDecomposition` — cells ordered along a space-filling
+  curve and split into ``p`` equal contiguous runs.  With the Hilbert
+  scheme this is exactly the paper's Figure 10 (square-ish tiles whose
+  processor order follows the curve); with the snake scheme it yields
+  the high-aspect-ratio row strips the paper compares against.
+* :class:`BlockDecomposition` — classic ``pr x pc`` rectangular tiles.
+
+Halo exchange schedules for the 5-point field stencil are derived from
+the decomposition's ownership function, so they work for any of the
+above.
+"""
+
+from repro.mesh.grid import Grid2D
+from repro.mesh.fields import FieldState
+from repro.mesh.decomposition import (
+    BlockDecomposition,
+    CurveBlockDecomposition,
+    MeshDecomposition,
+    ScatterDecomposition,
+)
+from repro.mesh.halo import HaloSchedule
+
+__all__ = [
+    "Grid2D",
+    "FieldState",
+    "MeshDecomposition",
+    "BlockDecomposition",
+    "CurveBlockDecomposition",
+    "ScatterDecomposition",
+    "HaloSchedule",
+]

@@ -1,0 +1,84 @@
+"""Electromagnetic field storage on the mesh.
+
+:class:`FieldState` holds the full 2D3V field set — ``E = (Ex, Ey, Ez)``,
+``B = (Bx, By, Bz)`` — plus the source terms deposited by particles
+(current density ``J`` and charge density ``rho``), each as a
+``(ny, nx)`` array over the periodic node grid.
+
+Normalized units are used throughout (``c = eps0 = mu0 = 1``), the usual
+choice for PIC kernels; the paper's evaluation is insensitive to the
+unit system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+
+import numpy as np
+
+from repro.mesh.grid import Grid2D
+from repro.util import require
+
+__all__ = ["FieldState"]
+
+_COMPONENTS = ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz", "rho")
+
+
+@dataclass
+class FieldState:
+    """All field components over a grid, each shaped ``(ny, nx)``."""
+
+    ex: np.ndarray
+    ey: np.ndarray
+    ez: np.ndarray
+    bx: np.ndarray
+    by: np.ndarray
+    bz: np.ndarray
+    jx: np.ndarray
+    jy: np.ndarray
+    jz: np.ndarray
+    rho: np.ndarray
+
+    @classmethod
+    def zeros(cls, grid: Grid2D) -> "FieldState":
+        """All-zero fields over ``grid``."""
+        return cls(*(np.zeros(grid.shape) for _ in _COMPONENTS))
+
+    def __post_init__(self) -> None:
+        shapes = {getattr(self, name).shape for name in _COMPONENTS}
+        require(len(shapes) == 1, f"all components must share one shape, got {shapes}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Common ``(ny, nx)`` array shape."""
+        return self.ex.shape
+
+    def copy(self) -> "FieldState":
+        """Deep copy."""
+        return FieldState(*(getattr(self, name).copy() for name in _COMPONENTS))
+
+    def clear_sources(self) -> None:
+        """Zero the deposited sources (J, rho) before a new scatter phase."""
+        for name in ("jx", "jy", "jz", "rho"):
+            getattr(self, name).fill(0.0)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def field_energy(self, grid: Grid2D) -> float:
+        """Total electromagnetic field energy, ``(E^2 + B^2)/2`` summed
+        over nodes times the cell area (normalized units)."""
+        e2 = self.ex**2 + self.ey**2 + self.ez**2
+        b2 = self.bx**2 + self.by**2 + self.bz**2
+        return float(0.5 * (e2 + b2).sum() * grid.dx * grid.dy)
+
+    def total_charge(self, grid: Grid2D) -> float:
+        """Total deposited charge (``rho`` integrated over the domain)."""
+        return float(self.rho.sum() * grid.dx * grid.dy)
+
+    def allclose(self, other: "FieldState", *, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Component-wise comparison, used by the parallel == sequential tests."""
+        return all(
+            np.allclose(getattr(self, f.name), getattr(other, f.name), rtol=rtol, atol=atol)
+            for f in dataclass_fields(self)
+        )

@@ -1,0 +1,173 @@
+"""Regular 2-D periodic grid geometry.
+
+Conventions
+-----------
+* The physical domain is ``[0, lx) x [0, ly)`` with ``nx x ny`` cells of
+  size ``dx = lx / nx``, ``dy = ly / ny``.
+* Field *nodes* sit at cell lower-left corners; under periodic
+  boundaries there are exactly ``nx * ny`` distinct nodes, so node and
+  cell index spaces coincide: node/cell ``(i, j)`` has row-major id
+  ``j * nx + i``.
+* A particle at ``(x, y)`` lies in cell ``(floor(x/dx), floor(y/dy))``
+  and couples to the 4 vertex nodes of that cell with bilinear
+  (cloud-in-cell) weights — the paper's linear interpolation scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import require, require_positive
+
+__all__ = ["Grid2D"]
+
+
+class Grid2D:
+    """Geometry of a periodic ``nx x ny`` cell grid over ``[0,lx) x [0,ly)``.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of cells along x and y (>= 2 each, so the 4 CIC vertices
+        are distinct).
+    lx, ly:
+        Physical extents; default to ``nx`` and ``ny`` (unit cells).
+    """
+
+    def __init__(self, nx: int, ny: int, lx: float | None = None, ly: float | None = None) -> None:
+        require(nx >= 2 and ny >= 2, f"grid must be at least 2x2 cells, got {nx}x{ny}")
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.lx = float(lx) if lx is not None else float(nx)
+        self.ly = float(ly) if ly is not None else float(ny)
+        require_positive(self.lx, "lx")
+        require_positive(self.ly, "ly")
+        self.dx = self.lx / self.nx
+        self.dy = self.ly / self.ny
+
+    # ------------------------------------------------------------------
+    @property
+    def ncells(self) -> int:
+        """Total number of cells (== number of field nodes)."""
+        return self.nx * self.ny
+
+    @property
+    def nnodes(self) -> int:
+        """Total number of field nodes (== cells, periodic grid)."""
+        return self.nx * self.ny
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Field-array shape ``(ny, nx)``."""
+        return (self.ny, self.nx)
+
+    # ------------------------------------------------------------------
+    def wrap_positions(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fold positions into the periodic domain ``[0,lx) x [0,ly)``.
+
+        ``np.mod(-eps, L)`` can round to exactly ``L`` for tiny negative
+        inputs; those hits fold back to 0 so the half-open contract holds.
+        """
+        xw = np.mod(x, self.lx)
+        yw = np.mod(y, self.ly)
+        xw = np.where(xw >= self.lx, 0.0, xw)
+        yw = np.where(yw >= self.ly, 0.0, yw)
+        return xw, yw
+
+    def cell_of(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return integer cell coordinates of (already wrapped) positions."""
+        cx = np.floor(np.asarray(x) / self.dx).astype(np.int64)
+        cy = np.floor(np.asarray(y) / self.dy).astype(np.int64)
+        # Positions exactly at the upper boundary (possible after a wrap
+        # that returns lx due to float rounding) fold to the last cell.
+        np.clip(cx, 0, self.nx - 1, out=cx)
+        np.clip(cy, 0, self.ny - 1, out=cy)
+        return cx, cy
+
+    def cell_id(self, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        """Row-major cell ids of integer cell coordinates."""
+        cx = np.asarray(cx, dtype=np.int64)
+        cy = np.asarray(cy, dtype=np.int64)
+        if cx.size and (cx.min() < 0 or cx.max() >= self.nx):
+            raise ValueError(f"cx out of range [0, {self.nx})")
+        if cy.size and (cy.min() < 0 or cy.max() >= self.ny):
+            raise ValueError(f"cy out of range [0, {self.ny})")
+        return cy * np.int64(self.nx) + cx
+
+    def cell_coords(self, cell_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`cell_id`: return ``(cx, cy)``."""
+        cell_ids = np.asarray(cell_ids, dtype=np.int64)
+        if cell_ids.size and (cell_ids.min() < 0 or cell_ids.max() >= self.ncells):
+            raise ValueError(f"cell id out of range [0, {self.ncells})")
+        cy, cx = np.divmod(cell_ids, np.int64(self.nx))
+        return cx, cy
+
+    def cell_id_of_positions(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Row-major cell ids of positions (wrapping applied)."""
+        xw, yw = self.wrap_positions(x, y)
+        cx, cy = self.cell_of(xw, yw)
+        return self.cell_id(cx, cy)
+
+    # ------------------------------------------------------------------
+    def cic_vertices_weights(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cloud-in-cell vertex nodes and bilinear weights for positions.
+
+        Returns
+        -------
+        nodes:
+            int64 array of shape ``(n, 4)`` — row-major node ids of the
+            4 cell vertices (lower-left, lower-right, upper-left,
+            upper-right), wrapped periodically.
+        weights:
+            float64 array of shape ``(n, 4)`` — bilinear weights, summing
+            to 1 per particle.
+        """
+        xw, yw = self.wrap_positions(np.asarray(x, float), np.asarray(y, float))
+        fx = xw / self.dx
+        fy = yw / self.dy
+        cx = np.floor(fx).astype(np.int64)
+        cy = np.floor(fy).astype(np.int64)
+        np.clip(cx, 0, self.nx - 1, out=cx)
+        np.clip(cy, 0, self.ny - 1, out=cy)
+        tx = fx - cx  # fractional offsets in [0, 1)
+        ty = fy - cy
+        cx1 = (cx + 1) % self.nx
+        cy1 = (cy + 1) % self.ny
+        nodes = np.stack(
+            [
+                cy * self.nx + cx,
+                cy * self.nx + cx1,
+                cy1 * self.nx + cx,
+                cy1 * self.nx + cx1,
+            ],
+            axis=-1,
+        ).astype(np.int64)
+        weights = np.stack(
+            [
+                (1.0 - tx) * (1.0 - ty),
+                tx * (1.0 - ty),
+                (1.0 - tx) * ty,
+                tx * ty,
+            ],
+            axis=-1,
+        )
+        return nodes, weights
+
+    def node_neighbors(self, node_ids: np.ndarray) -> np.ndarray:
+        """Return the four stencil neighbours of each node.
+
+        Shape ``(n, 4)``: west, east, south (iy-1), north (iy+1), with
+        periodic wrap — the access pattern of the field-solve stencil.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        iy, ix = np.divmod(node_ids, np.int64(self.nx))
+        west = iy * self.nx + (ix - 1) % self.nx
+        east = iy * self.nx + (ix + 1) % self.nx
+        south = ((iy - 1) % self.ny) * self.nx + ix
+        north = ((iy + 1) % self.ny) * self.nx + ix
+        return np.stack([west, east, south, north], axis=-1)
+
+    def __repr__(self) -> str:
+        return f"Grid2D({self.nx}x{self.ny}, lx={self.lx:g}, ly={self.ly:g})"

@@ -1,0 +1,27 @@
+"""Particle substrate: structure-of-arrays storage, samplers, parallel sort.
+
+The particle array is one of the paper's two irregularly coupled data
+arrays.  It is stored SoA (positions, relativistic momenta, charge,
+mass, weight, persistent ids) with a dense-matrix wire format for
+communication through the virtual machine.
+"""
+
+from repro.particles.arrays import ParticleArray
+from repro.particles.init import (
+    gaussian_blob,
+    ring_distribution,
+    two_stream,
+    uniform_plasma,
+)
+from repro.particles.sort import local_sort_by_keys, parallel_sample_sort, regular_samples
+
+__all__ = [
+    "ParticleArray",
+    "uniform_plasma",
+    "gaussian_blob",
+    "two_stream",
+    "ring_distribution",
+    "parallel_sample_sort",
+    "regular_samples",
+    "local_sort_by_keys",
+]

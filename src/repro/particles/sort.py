@@ -1,0 +1,125 @@
+"""Parallel sorting of keyed particle data on the virtual machine.
+
+:func:`parallel_sample_sort` is the from-scratch distribution algorithm
+(paper §5.1 "Sorting"): sample-based splitter selection, all-to-many
+routing, and local sort.  The *incremental* variant that reuses the
+previous epoch's order lives in :mod:`repro.core.incremental_sort`; this
+module provides the shared primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.virtual import VirtualMachine
+from repro.machine.collectives import exchange_by_destination
+from repro.util import require
+
+__all__ = ["regular_samples", "local_sort_by_keys", "parallel_sample_sort"]
+
+
+def regular_samples(sorted_keys: np.ndarray, nsamples: int) -> np.ndarray:
+    """Pick ``nsamples`` regularly spaced samples from a sorted key array.
+
+    Fewer samples are returned when the array is shorter than requested.
+    """
+    require(nsamples >= 1, f"nsamples must be >= 1, got {nsamples}")
+    n = sorted_keys.shape[0]
+    if n == 0:
+        return sorted_keys[:0]
+    take = min(nsamples, n)
+    idx = (np.arange(1, take + 1) * n) // (take + 1)
+    idx = np.clip(idx, 0, n - 1)
+    return sorted_keys[idx]
+
+
+def local_sort_by_keys(
+    keys: np.ndarray, payload: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable-sort ``payload`` rows by ``keys``; returns (keys, payload)."""
+    keys = np.asarray(keys)
+    require(keys.shape[0] == payload.shape[0], "keys/payload length mismatch")
+    order = np.argsort(keys, kind="stable")
+    return keys[order], payload[order]
+
+
+def parallel_sample_sort(
+    vm: VirtualMachine,
+    keys: list[np.ndarray],
+    payloads: list[np.ndarray],
+    *,
+    oversample: int = 4,
+) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray]:
+    """Globally sort keyed rows across ranks by sample sort.
+
+    Parameters
+    ----------
+    vm:
+        The virtual machine; costs are charged under its current phase.
+    keys:
+        Per-rank int64/float key arrays.
+    payloads:
+        Per-rank 2-D row payloads aligned with ``keys`` (e.g. particle
+        transport matrices).
+    oversample:
+        Samples per rank = ``oversample * p`` (regular sampling of the
+        locally sorted keys), traded against splitter quality.
+
+    Returns
+    -------
+    (keys_out, payloads_out, splitters):
+        Per-rank sorted slices such that the rank-order concatenation is
+        globally sorted, plus the ``p - 1`` global splitters used.
+        Counts per rank are *approximately* equal (sample sort property);
+        follow with :func:`repro.core.load_balance.order_maintaining_balance`
+        for exact balance.
+    """
+    p = vm.p
+    require(len(keys) == p and len(payloads) == p, "need one keys/payload per rank")
+    # 1. local sort (charged as n log n comparisons per rank)
+    sorted_keys: list[np.ndarray] = []
+    sorted_payloads: list[np.ndarray] = []
+    nlocal = np.zeros(p)
+    for r in range(p):
+        k, m = local_sort_by_keys(np.asarray(keys[r]), np.asarray(payloads[r]))
+        sorted_keys.append(k)
+        sorted_payloads.append(m)
+        nlocal[r] = k.shape[0]
+    logn = np.log2(np.maximum(nlocal, 2.0))
+    vm.charge_ops("sort", nlocal * logn)
+
+    # 2. sample and pick global splitters (concatenation collective)
+    samples = [regular_samples(sorted_keys[r], oversample * p) for r in range(p)]
+    gathered = vm.allgather(samples)[0]
+    all_samples = np.sort(np.concatenate([s for s in gathered if s.size]))
+    if all_samples.size >= p - 1 and p > 1:
+        idx = (np.arange(1, p) * all_samples.size) // p
+        splitters = all_samples[idx]
+    else:
+        splitters = all_samples[: max(p - 1, 0)]
+
+    # 3. route rows to destination ranks
+    dests = [
+        np.searchsorted(splitters, sorted_keys[r], side="right").astype(np.int64)
+        for r in range(p)
+    ]
+    vm.charge_ops("sort", nlocal * np.log2(max(p, 2)))
+    recv_payloads = exchange_by_destination(vm, sorted_payloads, dests)
+    recv_keys = exchange_by_destination(
+        vm, [k.reshape(-1, 1) for k in sorted_keys], dests
+    )
+
+    # 4. final local sort of received rows
+    keys_out: list[np.ndarray] = []
+    payloads_out: list[np.ndarray] = []
+    for r in range(p):
+        k = recv_keys[r].reshape(-1)
+        m = recv_payloads[r]
+        if m.ndim == 1:  # empty receive may come back flat
+            m = m.reshape(0, payloads[r].shape[1] if payloads[r].ndim == 2 else 1)
+        k, m = local_sort_by_keys(k, m)
+        keys_out.append(k)
+        payloads_out.append(m)
+    counts = np.array([k.shape[0] for k in keys_out], dtype=float)
+    vm.charge_ops("sort", counts * np.log2(np.maximum(counts, 2.0)))
+    return keys_out, payloads_out, splitters

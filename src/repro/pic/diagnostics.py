@@ -1,0 +1,107 @@
+"""Physics diagnostics: conservation tracking across a run.
+
+:class:`DiagnosticsRecorder` samples conserved (or nearly conserved)
+quantities — total charge, field/kinetic/total energy, momentum, the
+Gauss-law residual — every ``every`` iterations, and exposes them as
+arrays for analysis and regression tests.  Works with both the
+sequential and parallel steppers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.fields import FieldState
+from repro.mesh.grid import Grid2D
+from repro.particles.arrays import ParticleArray
+from repro.pic.maxwell import MaxwellSolver
+from repro.util import require
+
+__all__ = ["DiagnosticsRecorder", "DiagnosticsSample"]
+
+
+@dataclass
+class DiagnosticsSample:
+    """One sampled set of conservation quantities."""
+
+    iteration: int
+    field_energy: float
+    kinetic_energy: float
+    total_charge: float
+    momentum: np.ndarray  #: (3,) total particle momentum
+    gauss_residual: float  #: max |div E - (rho - <rho>)|
+
+    @property
+    def total_energy(self) -> float:
+        """Field plus kinetic energy."""
+        return self.field_energy + self.kinetic_energy
+
+
+class DiagnosticsRecorder:
+    """Samples conservation diagnostics from a PIC state.
+
+    Parameters
+    ----------
+    grid:
+        Mesh geometry.
+    every:
+        Sample every ``every`` calls to :meth:`record` (default 1).
+    """
+
+    def __init__(self, grid: Grid2D, *, every: int = 1) -> None:
+        require(every >= 1, "every must be >= 1")
+        self.grid = grid
+        self.every = every
+        self.samples: list[DiagnosticsSample] = []
+        self._solver = MaxwellSolver(grid)
+        self._calls = 0
+
+    def record(self, iteration: int, fields: FieldState, particles: ParticleArray) -> None:
+        """Sample the state if the cadence says so."""
+        self._calls += 1
+        if (self._calls - 1) % self.every:
+            return
+        self.samples.append(
+            DiagnosticsSample(
+                iteration=iteration,
+                field_energy=fields.field_energy(self.grid),
+                kinetic_energy=particles.kinetic_energy(),
+                total_charge=fields.total_charge(self.grid),
+                momentum=particles.momentum(),
+                gauss_residual=float(np.abs(self._solver.gauss_residual(fields)).max()),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> np.ndarray:
+        """Return the sampled series for a quantity by attribute name."""
+        require(bool(self.samples), "no samples recorded")
+        if name == "total_energy":
+            return np.array([s.total_energy for s in self.samples])
+        if name == "momentum":
+            return np.stack([s.momentum for s in self.samples])
+        if not hasattr(self.samples[0], name):
+            raise KeyError(f"unknown diagnostic {name!r}")
+        return np.array([getattr(s, name) for s in self.samples])
+
+    def energy_drift(self) -> float:
+        """Relative change of total energy from first to last sample."""
+        total = self.series("total_energy")
+        base = max(abs(total[0]), 1e-300)
+        return float((total[-1] - total[0]) / base)
+
+    def charge_drift(self) -> float:
+        """Max absolute deviation of total charge from its initial value."""
+        charge = self.series("total_charge")
+        return float(np.abs(charge - charge[0]).max())
+
+    def summary(self) -> dict[str, float]:
+        """Scalar summary suitable for logging or assertions."""
+        return {
+            "samples": float(len(self.samples)),
+            "energy_drift": self.energy_drift(),
+            "charge_drift": self.charge_drift(),
+            "max_gauss_residual": float(self.series("gauss_residual").max()),
+        }

@@ -1,0 +1,66 @@
+"""Gather phase: cloud-in-cell interpolation of E and B to particles.
+
+The inverse of deposition (the paper's Figure 3 ``Gather()``): each
+particle sums bilinear-weighted contributions from its 4 vertex nodes.
+The node-value lookup is factored out (:func:`gather_from_node_values`)
+so the parallel gather can substitute a local-plus-ghost value table for
+the global arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.fields import FieldState
+from repro.mesh.grid import Grid2D
+from repro.particles.arrays import ParticleArray
+
+__all__ = ["gather_from_node_values", "interpolate_fields"]
+
+
+def gather_from_node_values(
+    node_values: np.ndarray, nodes: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Interpolate per-node component values to particles.
+
+    Parameters
+    ----------
+    node_values:
+        ``(ncomp, nnodes)`` flat node data (e.g. 6 components of E, B).
+    nodes, weights:
+        ``(n, 4)`` CIC vertices and weights from
+        :meth:`repro.mesh.grid.Grid2D.cic_vertices_weights`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(ncomp, n)`` interpolated values at particles.
+    """
+    gathered = node_values[:, nodes]  # (ncomp, n, 4)
+    return np.einsum("cnv,nv->cn", gathered, weights)
+
+
+def interpolate_fields(
+    grid: Grid2D, fields: FieldState, particles: ParticleArray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential gather: E and B at each particle position.
+
+    Returns
+    -------
+    (e, b):
+        Arrays of shape ``(3, n)``: electric and magnetic field vectors
+        at the particles.
+    """
+    nodes, weights = grid.cic_vertices_weights(particles.x, particles.y)
+    node_values = np.stack(
+        [
+            fields.ex.ravel(),
+            fields.ey.ravel(),
+            fields.ez.ravel(),
+            fields.bx.ravel(),
+            fields.by.ravel(),
+            fields.bz.ravel(),
+        ]
+    )
+    both = gather_from_node_values(node_values, nodes, weights)
+    return both[:3], both[3:]

@@ -1,0 +1,301 @@
+"""Parallel charge-conserving PIC: the modern loop on the 1996 machinery.
+
+:class:`ParallelYeePIC` runs the Yee + zigzag loop of
+:class:`repro.pic.yee.YeePIC` SPMD over the virtual machine, reusing the
+paper's distribution framework (curve-block decomposition, aligned
+particle partitions, ghost tables, halo schedules).  It demonstrates
+that the paper's *data-distribution* contribution is independent of the
+*kernel* generation: alignment pays off identically for a 2003-style
+charge-conserving loop.
+
+Communication structure per iteration:
+
+1. **Gather (request/reply).**  The modern loop gathers *before* it
+   scatters, so there is no scatter-derived ghost schedule to reuse
+   (the paper's trick).  Instead each rank sends every owner the list
+   of off-rank nodes its particles need (the union over the six
+   staggered component stencils), and owners reply with the six
+   component values — the classic inspector/executor pattern, two
+   message rounds.
+2. **Push** — local.
+3. **Scatter.**  Zigzag current entries (face-centred Jx, Jy) and CIC
+   charge entries split into on-rank accumulation and per-component
+   ghost tables; one coalesced message per destination.
+4. **Field solve.**  Halo exchange of the six staggered components,
+   then the Yee update, charged per owned node.
+
+The discrete Gauss law holds to machine precision in the parallel runs
+too — property-tested, along with numerical equivalence to the
+sequential :class:`YeePIC`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.virtual import VirtualMachine
+from repro.mesh.decomposition import MeshDecomposition
+from repro.mesh.fields import FieldState
+from repro.mesh.grid import Grid2D
+from repro.mesh.halo import HaloSchedule
+from repro.particles.arrays import ParticleArray
+from repro.pic.deposition import deposition_entries
+from repro.pic.ghost import make_ghost_table
+from repro.pic.interpolation import gather_from_node_values
+from repro.pic.push import boris_push
+from repro.pic.yee import YeeSolver, staggered_cic
+from repro.pic.zigzag import deposit_current_zigzag
+from repro.util import require
+
+__all__ = ["ParallelYeePIC"]
+
+#: Stagger shifts of each gathered component, in cell units.
+_COMPONENT_SHIFTS = {
+    "ex": (0.5, 0.0),
+    "ey": (0.0, 0.5),
+    "ez": (0.0, 0.0),
+    "bx": (0.0, 0.5),
+    "by": (0.5, 0.0),
+    "bz": (0.5, 0.5),
+}
+
+
+class ParallelYeePIC:
+    """SPMD charge-conserving PIC stepper on a :class:`VirtualMachine`.
+
+    Parameters mirror :class:`repro.pic.parallel.ParallelPIC` (Lagrangian
+    movement only — combine with the usual
+    :class:`~repro.core.redistribution.Redistributor` for dynamic
+    redistribution).
+    """
+
+    def __init__(
+        self,
+        vm: VirtualMachine,
+        grid: Grid2D,
+        decomp: MeshDecomposition,
+        local_particles: list[ParticleArray],
+        *,
+        dt: float | None = None,
+        ghost_table: str = "hash",
+    ) -> None:
+        require(len(local_particles) == vm.p, "need one particle set per rank")
+        require(decomp.p == vm.p, "decomposition and machine rank counts differ")
+        self.vm = vm
+        self.grid = grid
+        self.decomp = decomp
+        self.particles = list(local_particles)
+        self.solver = YeeSolver(grid)
+        self.dt = dt if dt is not None else 0.9 * self.solver.cfl_limit()
+        self.solver.validate_dt(self.dt)
+        self.fields = FieldState.zeros(grid)
+        self.halo = HaloSchedule(decomp)
+        self.node_owner = decomp.owner_map
+        self.node_counts = decomp.node_counts().astype(float)
+        self._ghost_kind = ghost_table
+        self.iteration = 0
+        # consistent electrostatic initial condition (setup, uncharged)
+        self._distributed_rho()
+        self.fields.ex, self.fields.ey = self.solver.initial_e_from_rho(self.fields.rho)
+        # test hook: last gather replies
+        self.last_gather_replies: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+
+    # ------------------------------------------------------------------
+    def _field_node_values(self) -> np.ndarray:
+        f = self.fields
+        return np.stack(
+            [f.ex.ravel(), f.ey.ravel(), f.ez.ravel(), f.bx.ravel(), f.by.ravel(), f.bz.ravel()]
+        )
+
+    def _distributed_rho(self) -> None:
+        """CIC charge deposition with ghost communication (rho only)."""
+        vm = self.vm
+        grid = self.grid
+        acc = np.zeros(grid.nnodes)
+        with vm.phase("scatter"):
+            sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+            for r in range(vm.p):
+                parts = self.particles[r]
+                nodes, weights = grid.cic_vertices_weights(parts.x, parts.y)
+                values = (weights * (parts.w * parts.q)[:, None]).ravel()
+                flat = nodes.ravel()
+                owners = self.node_owner[flat]
+                mine = owners == r
+                acc += np.bincount(flat[mine], weights=values[mine], minlength=grid.nnodes)
+                table = make_ghost_table(self._ghost_kind, grid.nnodes, 1)
+                table.accumulate(flat[~mine], values[~mine][None, :])
+                uniq, summed = table.flush()
+                chunk: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+                if uniq.size:
+                    ghost_owner = self.node_owner[uniq]
+                    for owner in np.unique(ghost_owner):
+                        sel = ghost_owner == owner
+                        chunk[int(owner)] = (uniq[sel], np.ascontiguousarray(summed[:, sel]))
+                sends.append(chunk)
+            vm.charge_ops("scatter", np.array([4.0 * p.n for p in self.particles]))
+            recv = vm.alltoallv(sends)
+            for r in range(vm.p):
+                for _, (ids, vals) in sorted(recv[r].items()):
+                    acc += np.bincount(ids, weights=vals[0], minlength=grid.nnodes)
+        self.fields.rho = (acc / (grid.dx * grid.dy)).reshape(grid.shape)
+
+    # ------------------------------------------------------------------
+    # gather phase (request/reply)
+    # ------------------------------------------------------------------
+    def _gather(self) -> list[np.ndarray]:
+        """Return per-rank (6, n_local) interpolated staggered fields."""
+        vm = self.vm
+        grid = self.grid
+        node_values = self._field_node_values()
+        per_rank_stencils: list[dict[str, tuple[np.ndarray, np.ndarray]]] = []
+        requests: list[dict[int, np.ndarray]] = []
+        with vm.phase("gather"):
+            for r in range(vm.p):
+                parts = self.particles[r]
+                stencils = {
+                    name: staggered_cic(grid, parts.x, parts.y, sx, sy)
+                    for name, (sx, sy) in _COMPONENT_SHIFTS.items()
+                }
+                per_rank_stencils.append(stencils)
+                all_nodes = (
+                    np.unique(np.concatenate([s[0].ravel() for s in stencils.values()]))
+                    if parts.n
+                    else np.empty(0, dtype=np.int64)
+                )
+                owners = self.node_owner[all_nodes]
+                off = owners != r
+                chunk: dict[int, np.ndarray] = {}
+                needed = all_nodes[off]
+                for owner in np.unique(owners[off]):
+                    chunk[int(owner)] = needed[owners[off] == owner]
+                requests.append(chunk)
+            vm.charge_ops("gather", np.array([4.0 * p.n for p in self.particles]))
+            # round 1: requests (node-id lists)
+            incoming = vm.alltoallv(requests)
+            # round 2: replies (six component values per requested node)
+            replies: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [
+                dict() for _ in range(vm.p)
+            ]
+            for owner in range(vm.p):
+                for requester, ids in incoming[owner].items():
+                    replies[owner][requester] = (
+                        ids,
+                        np.ascontiguousarray(node_values[:, ids]),
+                    )
+            delivered = vm.alltoallv(replies)
+            self.last_gather_replies = delivered
+            # interpolate (values verified equal to owners' data by tests)
+            out = []
+            for r in range(vm.p):
+                stencils = per_rank_stencils[r]
+                rows = []
+                for c, name in enumerate(_COMPONENT_SHIFTS):
+                    nodes, weights = stencils[name]
+                    rows.append(
+                        gather_from_node_values(node_values[c : c + 1], nodes, weights)[0]
+                    )
+                out.append(np.stack(rows) if rows else np.zeros((6, 0)))
+        return out
+
+    # ------------------------------------------------------------------
+    # scatter phase (zigzag currents + CIC charge)
+    # ------------------------------------------------------------------
+    def _scatter(self, olds: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        vm = self.vm
+        grid = self.grid
+        nnodes = grid.nnodes
+        acc = np.zeros((4, nnodes))  # jx, jy, jz, rho (jx/jy face-centred)
+        with vm.phase("scatter"):
+            sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+            for r in range(vm.p):
+                parts = self.particles[r]
+                x_old, y_old = olds[r]
+                jx, jy = deposit_current_zigzag(
+                    grid, x_old, y_old, parts.x, parts.y, parts.w * parts.q, self.dt
+                )
+                # jz and rho by CIC (node-centred)
+                nodes, values = deposition_entries(grid, parts)
+                flat = nodes.ravel()
+                jz_vals = values[3].ravel()
+                rho_vals = values[0].ravel()
+                # split everything by owner; the dense jx/jy grids are
+                # converted to sparse (node, value) entry lists first
+                entries_nodes = []
+                entries_vals = []
+                for c, dense in enumerate((jx.ravel() * grid.dx * grid.dy, jy.ravel() * grid.dx * grid.dy)):
+                    nz = np.flatnonzero(dense)
+                    entries_nodes.append(nz)
+                    vals = np.zeros((4, nz.size))
+                    vals[c] = dense[nz]
+                    entries_vals.append(vals)
+                cic_vals = np.zeros((4, flat.size))
+                cic_vals[2] = jz_vals
+                cic_vals[3] = rho_vals
+                entries_nodes.append(flat)
+                entries_vals.append(cic_vals)
+                all_nodes = np.concatenate(entries_nodes)
+                all_vals = np.concatenate(entries_vals, axis=1)
+                owners = self.node_owner[all_nodes]
+                mine = owners == r
+                for c in range(4):
+                    acc[c] += np.bincount(
+                        all_nodes[mine], weights=all_vals[c][mine], minlength=nnodes
+                    )
+                table = make_ghost_table(self._ghost_kind, nnodes, 4)
+                table.accumulate(all_nodes[~mine], all_vals[:, ~mine])
+                uniq, summed = table.flush()
+                chunk: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+                if uniq.size:
+                    ghost_owner = self.node_owner[uniq]
+                    for owner in np.unique(ghost_owner):
+                        sel = ghost_owner == owner
+                        chunk[int(owner)] = (uniq[sel], np.ascontiguousarray(summed[:, sel]))
+                sends.append(chunk)
+            vm.charge_ops("scatter", np.array([8.0 * p.n for p in self.particles]))
+            recv = vm.alltoallv(sends)
+            for r in range(vm.p):
+                for _, (ids, vals) in sorted(recv[r].items()):
+                    for c in range(4):
+                        acc[c] += np.bincount(ids, weights=vals[c], minlength=nnodes)
+        scale = 1.0 / (grid.dx * grid.dy)
+        self.fields.jx = (acc[0] * scale).reshape(grid.shape)
+        self.fields.jy = (acc[1] * scale).reshape(grid.shape)
+        self.fields.jz = (acc[2] * scale).reshape(grid.shape)
+        self.fields.rho = (acc[3] * scale).reshape(grid.shape)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One charge-conserving iteration: gather, push, scatter, solve."""
+        vm = self.vm
+        eb = self._gather()
+        olds = []
+        with vm.phase("push"):
+            vm.charge_ops("push", np.array([float(p.n) for p in self.particles]))
+            for r in range(vm.p):
+                parts = self.particles[r]
+                olds.append((parts.x.copy(), parts.y.copy()))
+                if parts.n:
+                    boris_push(self.grid, parts, eb[r][:3], eb[r][3:], self.dt)
+        self._scatter(olds)
+        with vm.phase("field"):
+            self.halo.exchange(vm, self._field_node_values(), ncomponents=6)
+            vm.charge_ops("field", self.node_counts)
+            self.solver.step(self.fields, self.dt)
+        self.iteration += 1
+
+    # ------------------------------------------------------------------
+    def all_particles(self) -> ParticleArray:
+        """All particles concatenated in rank order."""
+        return ParticleArray.concat(self.particles)
+
+    def gauss_error(self) -> float:
+        """Max |div E - rho| (machine precision by construction)."""
+        return float(
+            np.abs(self.solver.gauss_residual(self.fields, self.fields.rho)).max()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelYeePIC(p={self.vm.p}, grid={self.grid!r}, "
+            f"n={sum(p.n for p in self.particles)})"
+        )

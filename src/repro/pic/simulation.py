@@ -1,0 +1,331 @@
+"""High-level simulation driver: configuration, policies, history.
+
+:class:`Simulation` assembles the whole stack for one experiment — the
+workload (paper's uniform / irregular distributions), the machine, the
+mesh decomposition, the particle distribution, the parallel PIC stepper,
+and a redistribution policy — then runs it while recording the
+per-iteration series the paper plots (execution time, scatter-phase max
+bytes and max messages) and the end-of-run totals its tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partitioner import ParticlePartitioner
+from repro.core.policies import RedistributionPolicy, make_policy
+from repro.core.redistribution import Redistributor
+from repro.machine.model import MachineModel
+from repro.machine.virtual import VirtualMachine
+from repro.mesh.decomposition import CurveBlockDecomposition, MeshDecomposition, balanced_splits
+from repro.mesh.grid import Grid2D
+from repro.particles.arrays import ParticleArray
+from repro.particles.init import gaussian_blob, ring_distribution, two_stream, uniform_plasma
+from repro.pic.parallel import ParallelPIC
+from repro.util import require
+
+__all__ = ["SimulationConfig", "IterationRecord", "SimulationResult", "Simulation"]
+
+_DISTRIBUTIONS = {
+    "uniform": uniform_plasma,
+    "irregular": gaussian_blob,
+    "two_stream": two_stream,
+    "ring": ring_distribution,
+}
+
+
+@dataclass
+class SimulationConfig:
+    """Everything that defines one experiment run.
+
+    Parameters mirror the paper's sweeps: mesh size, particle count,
+    spatial distribution, indexing scheme, processors, and the
+    redistribution policy.
+    """
+
+    nx: int = 64
+    ny: int = 32
+    nparticles: int = 8192
+    p: int = 8
+    distribution: str = "uniform"  #: uniform | irregular | two_stream | ring
+    scheme: str = "hilbert"  #: indexing scheme name
+    policy: str | RedistributionPolicy = "static"  #: static | periodic:<k> | dynamic
+    movement: str = "lagrangian"  #: lagrangian | eulerian
+    partitioning: str = "independent"  #: independent | grid | particle | adaptive
+    ghost_table: str = "hash"  #: hash | direct
+    field_solver: str = "maxwell"  #: maxwell | electrostatic (era kernel only)
+    kernel: str = "era"  #: era (CIC + collocated FDTD, the paper) | modern (Yee + zigzag)
+    model: MachineModel = field(default_factory=MachineModel.cm5)
+    dt: float | None = None
+    seed: int = 0
+    nbuckets: int = 16
+    vth: float = 0.05  #: thermal momentum spread of the sampler
+    density: float = 0.01  #: mean charge density (sets the plasma frequency)
+
+    def __post_init__(self) -> None:
+        require(self.distribution in _DISTRIBUTIONS, f"unknown distribution {self.distribution!r}")
+        require(
+            self.partitioning in ("independent", "grid", "particle", "adaptive"),
+            f"unknown partitioning {self.partitioning!r}",
+        )
+        require(self.movement in ("lagrangian", "eulerian"), f"unknown movement {self.movement!r}")
+        if self.partitioning == "adaptive":
+            require(
+                self.movement == "eulerian",
+                "adaptive partitioning rebalances cell ownership and requires eulerian movement",
+            )
+        require(self.kernel in ("era", "modern"), f"unknown kernel {self.kernel!r}")
+        if self.kernel == "modern":
+            require(
+                self.movement == "lagrangian" and self.partitioning == "independent",
+                "the modern kernel supports lagrangian movement with independent partitioning",
+            )
+            require(
+                self.field_solver == "maxwell",
+                "the modern kernel has its own (Yee) field solve",
+            )
+        require(self.nparticles >= self.p, "need at least one particle per rank")
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration observables (the series of Figures 17–19)."""
+
+    iteration: int
+    time: float  #: virtual seconds of this iteration (excl. redistribution)
+    scatter_max_bytes: int  #: max data sent/recv by any rank in scatter
+    scatter_max_msgs: int  #: max messages sent/recv by any rank in scatter
+    redistributed: bool  #: whether a redistribution followed this iteration
+    redistribution_cost: float  #: virtual seconds of that redistribution
+
+
+@dataclass
+class SimulationResult:
+    """End-of-run summary plus the per-iteration history."""
+
+    config: SimulationConfig
+    records: list[IterationRecord]
+    total_time: float  #: virtual execution time incl. redistributions
+    computation_time: float  #: max-over-ranks pure compute time
+    n_redistributions: int
+    redistribution_time: float  #: total virtual seconds spent redistributing
+    phase_breakdown: dict[str, float]  #: per-phase max-over-ranks time
+
+    @property
+    def overhead(self) -> float:
+        """Execution time minus computation time (paper Figs 21–22)."""
+        return self.total_time - self.computation_time
+
+    @property
+    def iteration_times(self) -> np.ndarray:
+        """Per-iteration execution-time series (paper Fig 17)."""
+        return np.array([r.time for r in self.records])
+
+    @property
+    def scatter_max_bytes(self) -> np.ndarray:
+        """Per-iteration scatter max-bytes series (paper Fig 18)."""
+        return np.array([r.scatter_max_bytes for r in self.records], dtype=np.int64)
+
+    @property
+    def scatter_max_msgs(self) -> np.ndarray:
+        """Per-iteration scatter max-messages series (paper Fig 19)."""
+        return np.array([r.scatter_max_msgs for r in self.records], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable summary plus per-iteration series."""
+        cfg = self.config
+        return {
+            "config": {
+                "nx": cfg.nx,
+                "ny": cfg.ny,
+                "nparticles": cfg.nparticles,
+                "p": cfg.p,
+                "distribution": cfg.distribution,
+                "scheme": cfg.scheme,
+                "policy": cfg.policy if isinstance(cfg.policy, str) else type(cfg.policy).__name__,
+                "movement": cfg.movement,
+                "partitioning": cfg.partitioning,
+                "kernel": cfg.kernel,
+                "seed": cfg.seed,
+                "machine": cfg.model.name,
+            },
+            "totals": {
+                "iterations": len(self.records),
+                "total_time": self.total_time,
+                "computation_time": self.computation_time,
+                "overhead": self.overhead,
+                "n_redistributions": self.n_redistributions,
+                "redistribution_time": self.redistribution_time,
+            },
+            "phase_breakdown": dict(self.phase_breakdown),
+            "series": {
+                "iteration_time": self.iteration_times.tolist(),
+                "scatter_max_bytes": self.scatter_max_bytes.tolist(),
+                "scatter_max_msgs": self.scatter_max_msgs.tolist(),
+                "redistributed": [r.redistributed for r in self.records],
+            },
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+class Simulation:
+    """Assembles and runs one configured experiment."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.grid = Grid2D(config.nx, config.ny)
+        sampler = _DISTRIBUTIONS[config.distribution]
+        self.initial_particles = sampler(
+            self.grid,
+            config.nparticles,
+            vth=config.vth,
+            density=config.density,
+            rng=config.seed,
+        )
+        self.vm = VirtualMachine(config.p, config.model)
+        self.partitioner = ParticlePartitioner(self.grid, config.scheme)
+        self.decomp = self._build_decomposition()
+        local = self._initial_assignment()
+        self.redistributor: Redistributor | None = None
+        self.rebalancer = None
+        if config.partitioning == "adaptive":
+            from repro.core.adaptive import AdaptiveMeshRebalancer
+
+            self.rebalancer = AdaptiveMeshRebalancer(self.grid, config.scheme)
+        self.policy = make_policy(config.policy)
+        if config.movement == "lagrangian":
+            self.redistributor = Redistributor(self.partitioner, nbuckets=config.nbuckets)
+            # Measure the setup distribution on the machine to seed the
+            # dynamic policy's T_redistribution, then reset the clock so
+            # run time starts at the first iteration (as in the paper).
+            result = self.redistributor.initialize(self.vm, local)
+            local = result.particles
+            self._setup_cost = result.cost
+            if hasattr(self.policy, "record_redistribution"):
+                self.policy.record_redistribution(-1, result.cost)
+            self.vm.clocks[:] = 0.0
+            self.vm.compute_time[:] = 0.0
+            self.vm.comm_time[:] = 0.0
+            self.vm.phase_time.clear()
+            self.vm.stats.reset()
+        else:
+            self._setup_cost = 0.0
+        if config.kernel == "modern":
+            from repro.pic.parallel_yee import ParallelYeePIC
+
+            self.pic = ParallelYeePIC(
+                self.vm,
+                self.grid,
+                self.decomp,
+                local,
+                dt=config.dt,
+                ghost_table=config.ghost_table,
+            )
+        else:
+            self.pic = ParallelPIC(
+                self.vm,
+                self.grid,
+                self.decomp,
+                local,
+                dt=config.dt,
+                ghost_table=config.ghost_table,
+                movement=config.movement,
+                field_solver=config.field_solver,
+            )
+
+    # ------------------------------------------------------------------
+    def _build_decomposition(self) -> MeshDecomposition:
+        cfg = self.config
+        if cfg.partitioning in ("independent", "grid", "adaptive"):
+            return CurveBlockDecomposition(self.grid, cfg.p, cfg.scheme)
+        # particle partitioning: mesh splits follow particle quantiles
+        # along the curve, so cells per rank are unbalanced.
+        keys = self.partitioner.particle_keys(self.initial_particles)
+        order = np.sort(keys)
+        quantile_bounds = balanced_splits(order.size, cfg.p)
+        bounds = np.empty(cfg.p + 1, dtype=np.int64)
+        bounds[0] = 0
+        bounds[-1] = self.grid.ncells
+        for r in range(1, cfg.p):
+            idx = int(quantile_bounds[r])
+            bounds[r] = int(order[min(idx, order.size - 1)])
+        bounds = np.maximum.accumulate(bounds)
+        np.clip(bounds, 0, self.grid.ncells, out=bounds)
+        return CurveBlockDecomposition(self.grid, cfg.p, cfg.scheme, bounds=bounds)
+
+    def _initial_assignment(self) -> list[ParticleArray]:
+        cfg = self.config
+        if cfg.partitioning == "grid" or cfg.movement == "eulerian":
+            # Particles live with the owner of their cell.
+            cells = self.grid.cell_id_of_positions(
+                self.initial_particles.x, self.initial_particles.y
+            )
+            owners = self.decomp.owner_of_cells(cells)
+            return [
+                self.initial_particles.take(np.flatnonzero(owners == r))
+                for r in range(cfg.p)
+            ]
+        return self.partitioner.initial_partition(self.initial_particles, cfg.p)
+
+    # ------------------------------------------------------------------
+    def run(self, niters: int) -> SimulationResult:
+        """Run ``niters`` iterations under the configured policy."""
+        require(niters >= 0, "niters must be >= 0")
+        vm = self.vm
+        records: list[IterationRecord] = []
+        redis_time = 0.0
+        n_redis = 0
+        for it in range(niters):
+            t0 = vm.elapsed()
+            self.pic.step()
+            t_iter = vm.elapsed() - t0
+            epoch = vm.stats.snapshot_epoch()
+            scatter = epoch.get("scatter")
+            max_bytes = scatter.max_bytes if scatter is not None else 0
+            max_msgs = scatter.max_msgs if scatter is not None else 0
+            self.policy.record_iteration(it, t_iter)
+            redistributed = False
+            cost = 0.0
+            if (
+                self.redistributor is not None
+                and self.config.movement == "lagrangian"
+                and self.policy.should_redistribute(it)
+            ):
+                result = self.redistributor.redistribute(vm, self.pic.particles)
+                self.pic.particles = result.particles
+                cost = result.cost
+                redis_time += cost
+                n_redis += 1
+                redistributed = True
+                self.policy.record_redistribution(it, cost)
+                vm.stats.snapshot_epoch()  # keep redistribution comm out of scatter series
+            elif self.rebalancer is not None and self.policy.should_redistribute(it):
+                cost = self.rebalancer.rebalance(self.pic)
+                redis_time += cost
+                n_redis += 1
+                redistributed = True
+                self.policy.record_redistribution(it, cost)
+                vm.stats.snapshot_epoch()
+            records.append(
+                IterationRecord(it, t_iter, max_bytes, max_msgs, redistributed, cost)
+            )
+        return SimulationResult(
+            config=self.config,
+            records=records,
+            total_time=vm.elapsed(),
+            computation_time=float(vm.compute_time.max()),
+            n_redistributions=n_redis,
+            redistribution_time=redis_time,
+            phase_breakdown=vm.phase_breakdown(),
+        )

@@ -1,0 +1,213 @@
+r"""Yee-staggered FDTD and an exactly charge-conserving PIC stepper.
+
+The reproduction's default field solve is collocated (all components on
+the nodes, centred differences) because that matches the paper's
+description and communication pattern.  This module provides the modern
+alternative: the staggered Yee lattice, which paired with the zigzag
+current deposition (:mod:`repro.pic.zigzag`) yields a PIC loop that
+satisfies the discrete Gauss law **exactly** — no Marder cleaning, no
+source smoothing required.
+
+Staggering (array index ``[j, i]`` holds the component at):
+
+====  =====================
+Ex    ``(i + 1/2, j)``
+Ey    ``(i, j + 1/2)``
+Ez    ``(i, j)``
+Bx    ``(i, j + 1/2)``
+By    ``(i + 1/2, j)``
+Bz    ``(i + 1/2, j + 1/2)``
+====  =====================
+
+All differences are the natural half-cell-offset ones, so every update
+still touches only nearest neighbours (same halo pattern as the
+collocated solve).  The zigzag ``Jx``/``Jy`` live exactly on the Ex/Ey
+faces, which is what makes continuity line up with the staggered
+divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.fields import FieldState
+from repro.mesh.grid import Grid2D
+from repro.particles.arrays import ParticleArray
+from repro.pic.deposition import deposit_charge_current
+from repro.pic.interpolation import gather_from_node_values
+from repro.pic.poisson import PoissonSolver
+from repro.pic.push import boris_push
+from repro.pic.zigzag import deposit_current_zigzag
+from repro.util import require, require_positive
+
+__all__ = ["YeeSolver", "YeePIC", "staggered_cic"]
+
+
+def staggered_cic(
+    grid: Grid2D,
+    x: np.ndarray,
+    y: np.ndarray,
+    shift_x: float,
+    shift_y: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CIC vertices/weights for a grid staggered by ``(shift_x, shift_y)``
+    cells (e.g. ``(0.5, 0)`` for the Ex/By faces)."""
+    return grid.cic_vertices_weights(
+        np.asarray(x, float) - shift_x * grid.dx,
+        np.asarray(y, float) - shift_y * grid.dy,
+    )
+
+
+class YeeSolver:
+    """Leapfrog FDTD on the staggered Yee lattice (periodic)."""
+
+    def __init__(self, grid: Grid2D) -> None:
+        self.grid = grid
+
+    def cfl_limit(self) -> float:
+        """Yee stability limit ``1 / sqrt(1/dx^2 + 1/dy^2)``."""
+        return 1.0 / np.sqrt(1.0 / self.grid.dx**2 + 1.0 / self.grid.dy**2)
+
+    def validate_dt(self, dt: float) -> None:
+        """Raise if ``dt`` exceeds the CFL limit."""
+        require_positive(dt, "dt")
+        limit = self.cfl_limit()
+        require(dt <= limit, f"dt={dt:g} violates the Yee CFL limit {limit:g}")
+
+    # -- staggered first differences (periodic) -------------------------
+    def _dxp(self, a: np.ndarray) -> np.ndarray:  # forward x difference
+        return (np.roll(a, -1, axis=1) - a) / self.grid.dx
+
+    def _dxm(self, a: np.ndarray) -> np.ndarray:  # backward x difference
+        return (a - np.roll(a, 1, axis=1)) / self.grid.dx
+
+    def _dyp(self, a: np.ndarray) -> np.ndarray:
+        return (np.roll(a, -1, axis=0) - a) / self.grid.dy
+
+    def _dym(self, a: np.ndarray) -> np.ndarray:
+        return (a - np.roll(a, 1, axis=0)) / self.grid.dy
+
+    def _advance_b(self, f: FieldState, dt: float) -> None:
+        f.bx -= dt * self._dyp(f.ez)
+        f.by += dt * self._dxp(f.ez)
+        f.bz -= dt * (self._dxp(f.ey) - self._dyp(f.ex))
+
+    def step(self, fields: FieldState, dt: float) -> None:
+        """B half step, E full step (with fields.j*), B half step."""
+        self.validate_dt(dt)
+        f = fields
+        self._advance_b(f, 0.5 * dt)
+        f.ex += dt * (self._dym(f.bz) - f.jx)
+        f.ey += dt * (-self._dxm(f.bz) - f.jy)
+        f.ez += dt * (self._dxm(f.by) - self._dym(f.bx) - f.jz)
+        self._advance_b(f, 0.5 * dt)
+
+    # -- discrete conservation checks -----------------------------------
+    def divergence_b(self, fields: FieldState) -> float:
+        """Max |div B| on the staggered lattice (exactly conserved at 0)."""
+        div = self._dxp(fields.bx) + self._dyp(fields.by)
+        return float(np.abs(div).max())
+
+    def gauss_residual(self, fields: FieldState, rho: np.ndarray) -> np.ndarray:
+        """``div E - (rho - <rho>)`` with the staggered divergence."""
+        div = self._dxm(fields.ex) + self._dym(fields.ey)
+        rho = np.asarray(rho)
+        return div - (rho - rho.mean())
+
+    def initial_e_from_rho(self, rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Electrostatic initial condition satisfying the staggered Gauss
+        law exactly: ``phi`` from the 5-point Poisson solve, ``E`` by
+        staggered gradients."""
+        phi = PoissonSolver(self.grid).solve_fft(np.asarray(rho))
+        ex = -self._dxp(phi)  # lives at (i + 1/2, j)
+        ey = -self._dyp(phi)  # lives at (i, j + 1/2)
+        return ex, ey
+
+
+class YeePIC:
+    """Exactly charge-conserving sequential PIC (Yee + zigzag).
+
+    The step ordering is the standard charge-conserving loop: gather
+    fields at t^n, push, deposit J^(n+1/2) from the motion segments,
+    advance the fields.  ``max |div E - rho|`` stays at machine
+    precision for the whole run — property-tested.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        particles: ParticleArray,
+        *,
+        dt: float | None = None,
+    ) -> None:
+        self.grid = grid
+        self.particles = particles
+        self.solver = YeeSolver(grid)
+        self.dt = dt if dt is not None else 0.9 * self.solver.cfl_limit()
+        self.solver.validate_dt(self.dt)
+        self.fields = FieldState.zeros(grid)
+        # deposit initial rho and the consistent electrostatic E field
+        self._update_rho()
+        self.fields.ex, self.fields.ey = self.solver.initial_e_from_rho(self.fields.rho)
+        self.iteration = 0
+
+    def _update_rho(self) -> None:
+        rho, _, _, _ = deposit_charge_current(self.grid, self.particles)
+        self.fields.rho = rho
+
+    def _gather(self) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolate the staggered components to the particles."""
+        parts = self.particles
+        shifts = {
+            "ex": (0.5, 0.0),
+            "ey": (0.0, 0.5),
+            "ez": (0.0, 0.0),
+            "bx": (0.0, 0.5),
+            "by": (0.5, 0.0),
+            "bz": (0.5, 0.5),
+        }
+        out = []
+        for name, (sx, sy) in shifts.items():
+            nodes, weights = staggered_cic(self.grid, parts.x, parts.y, sx, sy)
+            values = getattr(self.fields, name).ravel()[None, :]
+            out.append(gather_from_node_values(values, nodes, weights)[0])
+        stacked = np.stack(out)
+        return stacked[:3], stacked[3:]
+
+    def step(self) -> None:
+        """One charge-conserving iteration."""
+        parts = self.particles
+        e, b = self._gather()
+        x_old = parts.x.copy()
+        y_old = parts.y.copy()
+        boris_push(self.grid, parts, e, b, self.dt)
+        jx, jy = deposit_current_zigzag(
+            self.grid, x_old, y_old, parts.x, parts.y, parts.w * parts.q, self.dt
+        )
+        self.fields.jx = jx
+        self.fields.jy = jy
+        # Jz: plain (node-centred) deposition — the z current does not
+        # enter the 2-D continuity equation.
+        _, _, _, jz = deposit_charge_current(self.grid, parts)
+        self.fields.jz = jz
+        self.solver.step(self.fields, self.dt)
+        self._update_rho()
+        self.iteration += 1
+
+    def run(self, niters: int) -> None:
+        """Run ``niters`` iterations."""
+        require(niters >= 0, "niters must be >= 0")
+        for _ in range(niters):
+            self.step()
+
+    # ------------------------------------------------------------------
+    def gauss_error(self) -> float:
+        """Max |div E - rho| — machine precision by construction."""
+        return float(np.abs(self.solver.gauss_residual(self.fields, self.fields.rho)).max())
+
+    def total_energy(self) -> float:
+        """Field energy plus particle kinetic energy."""
+        return self.fields.field_energy(self.grid) + self.particles.kinetic_energy()
+
+    def __repr__(self) -> str:
+        return f"YeePIC(grid={self.grid!r}, n={self.particles.n}, iter={self.iteration})"

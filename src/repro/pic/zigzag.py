@@ -1,0 +1,157 @@
+r"""Charge-conserving current deposition (Umeda's zigzag scheme).
+
+Plain CIC current deposition (velocity-weighted charge, as used in the
+1996 era and in :mod:`repro.pic.deposition`) does not satisfy the
+discrete continuity equation, so ``div E - rho`` drifts and must be
+cleaned (Marder, :mod:`repro.pic.maxwell`).  The zigzag scheme of Umeda
+et al. (Comput. Phys. Commun. 156, 2003) computes J directly from each
+particle's motion segment ``(x_old) -> (x_new)`` such that
+
+.. math::
+
+    (rho^{new} - rho^{old}) / dt + div J = 0
+
+holds *exactly*, where rho is the CIC (bilinear) node density and the
+divergence is the staggered difference ``(Jx[i,j] - Jx[i-1,j])/dx +
+(Jy[i,j] - Jy[i,j-1])/dy`` with ``Jx[i,j]`` living on the x-face
+``(i+1/2, j)`` and ``Jy[i,j]`` on the y-face ``(i, j+1/2)``.
+
+The trajectory is split at the cell boundary (the *relay point*) into at
+most two straight sub-segments, each inside one cell; a segment in cell
+``(i, j)`` deposits
+
+.. math::
+
+    Jx(i+1/2, j)   +=  F_x (1 - W_y), \qquad
+    Jx(i+1/2, j+1) +=  F_x W_y
+
+with flux ``F_x = q (x_b - x_a) / dt`` and transverse weight
+``W_y = (y_a + y_b) / (2 dy) - j`` (symmetrically for ``Jy``).
+
+The kernel is standalone (property-tested for exact continuity) and can
+replace the plain current deposition in custom steppers; the default
+steppers keep the paper-era kernel + Marder cleaning so the reproduction
+exercises the same code path as the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.grid import Grid2D
+from repro.util import require
+
+__all__ = ["deposit_current_zigzag", "continuity_residual"]
+
+
+def deposit_current_zigzag(
+    grid: Grid2D,
+    x_old: np.ndarray,
+    y_old: np.ndarray,
+    x_new: np.ndarray,
+    y_new: np.ndarray,
+    charge: np.ndarray,
+    dt: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deposit face currents from per-particle motion segments.
+
+    Parameters
+    ----------
+    grid:
+        Periodic geometry.  Each particle must move less than one cell
+        per step (guaranteed under the CFL limit since |v| < c = 1).
+    x_old, y_old, x_new, y_new:
+        Positions before and after the push (wrapped or not; the
+        shortest periodic displacement is used).
+    charge:
+        Per-particle charge (``w * q``).
+    dt:
+        Time step.
+
+    Returns
+    -------
+    (jx, jy):
+        Face-current arrays of shape ``(ny, nx)`` in density units
+        (divided by the cell area), satisfying exact discrete continuity
+        with the CIC charge density (see :func:`continuity_residual`).
+    """
+    require(dt > 0, "dt must be > 0")
+    x_old = np.asarray(x_old, float)
+    y_old = np.asarray(y_old, float)
+    x_new = np.asarray(x_new, float)
+    y_new = np.asarray(y_new, float)
+    charge = np.asarray(charge, float)
+    n = x_old.shape[0]
+    require(
+        all(a.shape == (n,) for a in (y_old, x_new, y_new, charge)),
+        "all position/charge arrays must share one length",
+    )
+
+    # Unwrapped coordinates: wrapped start + shortest periodic move.
+    x1, y1 = grid.wrap_positions(x_old, y_old)
+    dx_move = np.mod(x_new - x_old + grid.lx / 2, grid.lx) - grid.lx / 2
+    dy_move = np.mod(y_new - y_old + grid.ly / 2, grid.ly) - grid.ly / 2
+    if n and (np.abs(dx_move).max() >= grid.dx or np.abs(dy_move).max() >= grid.dy):
+        raise ValueError("zigzag deposition requires moves of less than one cell per step")
+    x2 = x1 + dx_move
+    y2 = y1 + dy_move
+
+    c1x = np.clip(np.floor(x1 / grid.dx).astype(np.int64), 0, grid.nx - 1)
+    c1y = np.clip(np.floor(y1 / grid.dy).astype(np.int64), 0, grid.ny - 1)
+    c2x = np.floor(x2 / grid.dx).astype(np.int64)  # may be -1 or nx (unwrapped)
+    c2y = np.floor(y2 / grid.dy).astype(np.int64)
+
+    # Umeda's relay point: shared boundary when the cells differ along
+    # an axis, else the midpoint.
+    def relay(a1, a2, c1, c2, d):
+        boundary = np.maximum(c1, c2) * d  # the face between the two cells
+        mid = 0.5 * (a1 + a2)
+        return np.where(c1 == c2, mid, boundary)
+
+    xr = relay(x1, x2, c1x, c2x, grid.dx)
+    yr = relay(y1, y2, c1y, c2y, grid.dy)
+
+    jx = np.zeros(grid.shape)
+    jy = np.zeros(grid.shape)
+    inv_area = 1.0 / (grid.dx * grid.dy)
+    flat_jx = jx.reshape(-1)
+    flat_jy = jy.reshape(-1)
+
+    def deposit_segment(xa, ya, xb, yb, cx, cy):
+        """Deposit one straight sub-segment lying inside cell (cx, cy)."""
+        fx = charge * (xb - xa) / dt
+        fy = charge * (yb - ya) / dt
+        wy = 0.5 * (ya + yb) / grid.dy - cy  # transverse weight in [0, 1]
+        wx = 0.5 * (xa + xb) / grid.dx - cx
+        cxw = np.mod(cx, grid.nx)
+        cyw = np.mod(cy, grid.ny)
+        cyw1 = np.mod(cy + 1, grid.ny)
+        cxw1 = np.mod(cx + 1, grid.nx)
+        # Jx on faces (cx + 1/2, cy) and (cx + 1/2, cy + 1)
+        np.add.at(flat_jx, cyw * grid.nx + cxw, fx * (1.0 - wy) * inv_area)
+        np.add.at(flat_jx, cyw1 * grid.nx + cxw, fx * wy * inv_area)
+        # Jy on faces (cx, cy + 1/2) and (cx + 1, cy + 1/2)
+        np.add.at(flat_jy, cyw * grid.nx + cxw, fy * (1.0 - wx) * inv_area)
+        np.add.at(flat_jy, cyw * grid.nx + cxw1, fy * wx * inv_area)
+
+    deposit_segment(x1, y1, xr, yr, c1x, c1y)
+    deposit_segment(xr, yr, x2, y2, c2x, c2y)
+    return jx, jy
+
+
+def continuity_residual(
+    grid: Grid2D,
+    rho_old: np.ndarray,
+    rho_new: np.ndarray,
+    jx: np.ndarray,
+    jy: np.ndarray,
+    dt: float,
+) -> np.ndarray:
+    """``(rho_new - rho_old)/dt + div J`` with the staggered divergence.
+
+    ``rho_*`` are CIC node densities
+    (:func:`repro.pic.deposition.deposit_charge_current` channel 0);
+    identically ~0 (machine precision) for zigzag-deposited currents.
+    """
+    div = (jx - np.roll(jx, 1, axis=1)) / grid.dx + (jy - np.roll(jy, 1, axis=0)) / grid.dy
+    return (np.asarray(rho_new) - np.asarray(rho_old)) / dt + div

@@ -1,0 +1,23 @@
+"""Shared utilities: RNG handling, validation, and operation accounting.
+
+These helpers keep the rest of the library free of boilerplate:
+
+* :func:`as_rng` normalizes seeds / generators so every stochastic entry
+  point in the library is reproducible.
+* :func:`require` / :func:`require_type` provide uniform argument
+  validation with actionable error messages.
+* :class:`OpCounter` tallies abstract operation counts that the machine
+  cost model (:mod:`repro.machine.model`) converts into virtual seconds.
+"""
+
+from repro.util.rng import as_rng
+from repro.util.validation import require, require_positive, require_type
+from repro.util.opcount import OpCounter
+
+__all__ = [
+    "as_rng",
+    "require",
+    "require_positive",
+    "require_type",
+    "OpCounter",
+]

@@ -1,0 +1,65 @@
+"""Abstract operation accounting.
+
+The paper's §4 cost model charges computation as (number of unit
+operations) x delta.  Kernels in :mod:`repro.pic` return operation counts
+through an :class:`OpCounter`; the virtual machine converts them to
+seconds with the active :class:`repro.machine.model.MachineModel`.
+
+Keeping the counts symbolic (per named category) lets the analysis layer
+separate "computation time" from "overhead" exactly the way Figures 21/22
+of the paper do.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator
+
+__all__ = ["OpCounter"]
+
+
+class OpCounter:
+    """Tally of abstract operation counts keyed by category name.
+
+    Categories are free-form strings; the conventional ones used by the
+    PIC kernels are ``"scatter"``, ``"gather"``, ``"field"``, ``"push"``,
+    ``"sort"``, and ``"index"``.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = defaultdict(float)
+
+    def add(self, category: str, count: float) -> None:
+        """Add ``count`` operations to ``category``."""
+        if count < 0:
+            raise ValueError(f"operation count must be >= 0, got {count}")
+        self._counts[category] += count
+
+    def get(self, category: str) -> float:
+        """Return the total count recorded for ``category`` (0 if unseen)."""
+        return self._counts.get(category, 0.0)
+
+    def total(self) -> float:
+        """Return the sum of all recorded counts."""
+        return sum(self._counts.values())
+
+    def merge(self, other: "OpCounter") -> None:
+        """Accumulate another counter's tallies into this one."""
+        for key, val in other._counts.items():
+            self._counts[key] += val
+
+    def reset(self) -> None:
+        """Clear all tallies."""
+        self._counts.clear()
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        """Iterate ``(category, count)`` pairs."""
+        return iter(self._counts.items())
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a plain-dict snapshot of the tallies."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
+        return f"OpCounter({inner})"

@@ -1,0 +1,34 @@
+"""Random-number-generator normalization.
+
+Every stochastic entry point in the library accepts ``rng: int | None |
+numpy.random.Generator`` and calls :func:`as_rng` exactly once, so that
+
+* passing an ``int`` gives a reproducible stream,
+* passing ``None`` gives a fresh nondeterministic stream, and
+* passing a ``Generator`` threads an existing stream through (useful when
+  one experiment draws several correlated workloads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng"]
+
+
+def as_rng(rng: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a nondeterministic generator, an integer seed, or an
+        existing generator (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator; got {type(rng).__name__}"
+    )

@@ -1,0 +1,36 @@
+"""Uniform argument validation helpers.
+
+The library is a simulation substrate: most bugs show up as silently wrong
+physics or cost numbers rather than crashes, so constructor arguments are
+validated eagerly with precise messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["require", "require_positive", "require_type"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str, *, strict: bool = True) -> None:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_type(value: Any, types: type | tuple[type, ...], name: str) -> None:
+    """Validate that ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expect = " | ".join(t.__name__ for t in types)
+        else:
+            expect = types.__name__
+        raise TypeError(f"{name} must be {expect}, got {type(value).__name__}")

@@ -1,0 +1,19 @@
+"""Experiment workload configurations (the paper's evaluation setups)."""
+
+from repro.workloads.scenarios import (
+    FIG16_CASES,
+    FIG17_CASE,
+    FIG20_CASE,
+    TABLE2_CASES,
+    PaperCase,
+    scaled_iterations,
+)
+
+__all__ = [
+    "PaperCase",
+    "FIG16_CASES",
+    "FIG17_CASE",
+    "FIG20_CASE",
+    "TABLE2_CASES",
+    "scaled_iterations",
+]

@@ -1,0 +1,82 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import density_map, ownership_map, particle_assignment_map
+from repro.core import ParticlePartitioner
+from repro.mesh import CurveBlockDecomposition, Grid2D
+from repro.particles import ParticleArray, gaussian_blob, uniform_plasma
+
+
+class TestDensityMap:
+    def test_shape(self):
+        grid = Grid2D(16, 8)
+        parts = uniform_plasma(grid, 256, rng=0)
+        out = density_map(grid, parts)
+        lines = out.splitlines()
+        assert len(lines) == 9  # header + ny rows
+        assert all(len(line) == 16 for line in lines[1:])
+
+    def test_blob_darkest_at_center(self):
+        grid = Grid2D(16, 16)
+        parts = gaussian_blob(grid, 8000, sigma_frac=0.06, rng=1)
+        lines = density_map(grid, parts).splitlines()[1:]
+        center = lines[8][8]
+        corner = lines[0][0]
+        assert center != " " and corner == " "
+
+    def test_empty_particles(self):
+        grid = Grid2D(8, 8)
+        out = density_map(grid, ParticleArray.empty(0))
+        assert "0 particles" in out
+
+    def test_downsampling_wide_grid(self):
+        grid = Grid2D(256, 8)
+        parts = uniform_plasma(grid, 1024, rng=2)
+        out = density_map(grid, parts, max_width=64)
+        assert max(len(line) for line in out.splitlines()[1:]) <= 64
+
+
+class TestOwnershipMap:
+    def test_four_quadrants(self):
+        grid = Grid2D(8, 8)
+        decomp = CurveBlockDecomposition(grid, 4, "hilbert")
+        lines = ownership_map(decomp).splitlines()[1:]
+        glyphs = {ch for line in lines for ch in line}
+        assert glyphs == {"0", "1", "2", "3"}
+
+    def test_snake_strips_visible(self):
+        grid = Grid2D(8, 8)
+        decomp = CurveBlockDecomposition(grid, 4, "snake")
+        lines = ownership_map(decomp).splitlines()[1:]
+        # strip decomposition: each row is a single glyph
+        for line in lines:
+            assert len(set(line)) == 1
+
+
+class TestParticleAssignmentMap:
+    def test_aligned_partition_matches_mesh_map(self):
+        grid = Grid2D(16, 16)
+        parts = uniform_plasma(grid, 16 * 16 * 16, rng=3)
+        decomp = CurveBlockDecomposition(grid, 4, "hilbert")
+        local = ParticlePartitioner(grid, "hilbert").initial_partition(parts, 4)
+        mesh_lines = ownership_map(decomp).splitlines()[1:]
+        part_lines = particle_assignment_map(grid, local).splitlines()[1:]
+        agree = sum(
+            1
+            for mrow, prow in zip(mesh_lines, part_lines)
+            for m, p in zip(mrow, prow)
+            if m == p
+        )
+        assert agree / grid.ncells > 0.8
+
+    def test_empty_cells_dotted(self):
+        grid = Grid2D(8, 8)
+        local = [ParticleArray.empty(0), ParticleArray.empty(0)]
+        lines = particle_assignment_map(grid, local).splitlines()[1:]
+        assert all(set(line) == {"."} for line in lines)
+
+    def test_requires_ranks(self):
+        with pytest.raises(ValueError):
+            particle_assignment_map(Grid2D(8, 8), [])

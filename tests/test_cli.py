@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nx == 64 and args.policy == "dynamic"
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--distribution", "fractal"])
+
+
+class TestCommands:
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "hilbert" in out and "snake" in out
+
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "fig17" in out and "128x64" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--nx", "16", "--ny", "16", "-n", "512", "-p", "4",
+            "--iterations", "5", "--policy", "static",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total_time" in out and "scatter" in out
+
+    def test_run_json(self, capsys):
+        code = main([
+            "run", "--nx", "16", "--ny", "16", "-n", "512", "-p", "4",
+            "--iterations", "3", "--json",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["iterations"] == 3
+        assert summary["total_time"] > 0
+        assert "phase_breakdown" in summary
+
+    def test_run_named_case_overrides_geometry(self, capsys):
+        code = main([
+            "run", "--case", "fig20", "--iterations", "2", "--json",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["iterations"] == 2
+
+    def test_run_unknown_case(self):
+        with pytest.raises(SystemExit, match="unknown case"):
+            main(["run", "--case", "fig99"])
+
+    def test_config_file_loaded(self, capsys, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text('{"nx": 16, "ny": 16, "nparticles": 512, "p": 4, "policy": "periodic:2"}')
+        assert main(["run", "--config", str(cfg), "--iterations", "4", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_redistributions"] == 2
+
+    def test_cli_flag_overrides_config_file(self, capsys, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text('{"nx": 16, "ny": 16, "nparticles": 512, "p": 4, "policy": "static"}')
+        code = main([
+            "run", "--config", str(cfg), "--policy", "periodic:2",
+            "--iterations", "4", "--json",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_redistributions"] == 2
+
+    def test_config_file_unknown_keys_rejected(self, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text('{"warp_factor": 9}')
+        with pytest.raises(SystemExit, match="unknown config keys"):
+            main(["run", "--config", str(cfg)])
+
+    def test_config_file_bad_json(self, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text("{nope")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["run", "--config", str(cfg)])
+
+    def test_config_file_missing(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["run", "--config", str(tmp_path / "nope.json")])
+
+    def test_save_json(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main([
+            "run", "--nx", "16", "--ny", "16", "-n", "512", "-p", "4",
+            "--iterations", "3", "--save-json", str(out),
+        ])
+        assert code == 0
+        saved = json.loads(out.read_text())
+        assert saved["totals"]["iterations"] == 3
+        assert len(saved["series"]["iteration_time"]) == 3
+
+    def test_electrostatic_solver_flag(self, capsys):
+        code = main([
+            "run", "--nx", "16", "--ny", "16", "-n", "512", "-p", "4",
+            "--iterations", "2", "--field-solver", "electrostatic", "--json",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["iterations"] == 2
+
+    def test_run_periodic_policy(self, capsys):
+        code = main([
+            "run", "--nx", "16", "--ny", "16", "-n", "512", "-p", "4",
+            "--iterations", "6", "--policy", "periodic:2", "--json",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_redistributions"] == 3

@@ -1,0 +1,113 @@
+"""Tests for alignment metrics (paper Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePartitioner
+from repro.core.alignment import (
+    bounding_box_area,
+    ghost_node_counts,
+    partner_counts,
+    subdomain_overlap_fraction,
+)
+from repro.core.metrics import load_imbalance, particle_counts
+from repro.mesh import CurveBlockDecomposition, Grid2D
+from repro.particles import ParticleArray, gaussian_blob, uniform_plasma
+
+
+class TestBoundingBox:
+    def test_empty(self, grid):
+        assert bounding_box_area(ParticleArray.empty(0), grid) == 0.0
+
+    def test_single_point(self, grid):
+        parts = ParticleArray.empty(1)
+        parts.x[:] = 2.0
+        parts.y[:] = 3.0
+        assert bounding_box_area(parts, grid) == 0.0
+
+    def test_known_box(self, grid):
+        parts = ParticleArray.empty(2)
+        parts.x[:] = [1.0, 3.0]
+        parts.y[:] = [2.0, 6.0]
+        assert bounding_box_area(parts, grid) == pytest.approx(8.0)
+
+    def test_hilbert_subdomains_more_compact_than_snake(self):
+        """Equal particle slices along a Hilbert curve span smaller
+        boxes than along a snake curve — the geometric root of the
+        paper's Table 2 result."""
+        grid = Grid2D(32, 32)
+        parts = uniform_plasma(grid, 8192, rng=0)
+        areas = {}
+        for scheme in ("hilbert", "snake"):
+            local = ParticlePartitioner(grid, scheme).initial_partition(parts, 16)
+            areas[scheme] = sum(bounding_box_area(lp, grid) for lp in local)
+        assert areas["hilbert"] < areas["snake"]
+
+
+class TestOverlap:
+    def test_perfect_alignment(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4, "hilbert")
+        # put particles exactly on rank 2's cells
+        cells = decomp.cells_of_rank(2)
+        cx, cy = grid.cell_coords(cells)
+        parts = ParticleArray.empty(cells.size)
+        parts.x[:] = cx + 0.5
+        parts.y[:] = cy + 0.5
+        assert subdomain_overlap_fraction(parts, 2, grid, decomp) == 1.0
+        assert subdomain_overlap_fraction(parts, 0, grid, decomp) == 0.0
+
+    def test_empty_reports_one(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4)
+        assert subdomain_overlap_fraction(ParticleArray.empty(0), 0, grid, decomp) == 1.0
+
+    def test_aligned_partition_high_overlap(self):
+        grid = Grid2D(32, 32)
+        decomp = CurveBlockDecomposition(grid, 8, "hilbert")
+        parts = uniform_plasma(grid, 8192, rng=1)
+        local = ParticlePartitioner(grid, "hilbert").initial_partition(parts, 8)
+        fractions = [
+            subdomain_overlap_fraction(lp, r, grid, decomp) for r, lp in enumerate(local)
+        ]
+        assert min(fractions) > 0.7
+
+
+class TestPartnerAndGhostCounts:
+    def test_aligned_uniform_few_partners(self):
+        grid = Grid2D(32, 32)
+        decomp = CurveBlockDecomposition(grid, 16, "hilbert")
+        parts = uniform_plasma(grid, 4096, rng=2)
+        local = ParticlePartitioner(grid, "hilbert").initial_partition(parts, 16)
+        partners = partner_counts(local, grid, decomp)
+        assert partners.max() <= 8  # near-neighbours only
+
+    def test_misaligned_blob_many_ghosts(self):
+        grid = Grid2D(32, 32)
+        decomp = CurveBlockDecomposition(grid, 8, "hilbert")
+        parts = gaussian_blob(grid, 4096, rng=3)
+        # deliberately bad assignment: round-robin by id
+        local = [parts.take(np.arange(r, parts.n, 8)) for r in range(8)]
+        aligned = ParticlePartitioner(grid, "hilbert").initial_partition(parts, 8)
+        bad = ghost_node_counts(local, grid, decomp).sum()
+        good = ghost_node_counts(aligned, grid, decomp).sum()
+        assert good < bad
+
+    def test_empty_ranks(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4)
+        locals_ = [ParticleArray.empty(0) for _ in range(4)]
+        assert partner_counts(locals_, grid, decomp).sum() == 0
+        assert ghost_node_counts(locals_, grid, decomp).sum() == 0
+
+
+class TestMetrics:
+    def test_particle_counts(self):
+        locals_ = [ParticleArray.empty(3), ParticleArray.empty(5)]
+        assert particle_counts(locals_).tolist() == [3, 5]
+
+    def test_load_imbalance_balanced(self):
+        assert load_imbalance(np.array([10, 10, 10])) == 1.0
+
+    def test_load_imbalance_skewed(self):
+        assert load_imbalance(np.array([30, 0, 0])) == pytest.approx(3.0)
+
+    def test_load_imbalance_empty(self):
+        assert load_imbalance(np.zeros(4)) == 1.0

@@ -1,0 +1,154 @@
+"""Tests for bucket-based incremental sorting (paper Figure 12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental_sort import BucketState, bucket_incremental_sort
+from repro.machine import MachineModel, VirtualMachine
+
+
+def make_states(p, n_per, nbuckets=4, seed=0):
+    rng = np.random.default_rng(seed)
+    all_keys = np.sort(rng.integers(0, 100000, p * n_per))
+    states = []
+    for r in range(p):
+        keys = all_keys[r * n_per : (r + 1) * n_per]
+        payload = keys.reshape(-1, 1).astype(float)
+        states.append(BucketState.build(keys, payload, nbuckets))
+    return states
+
+
+class TestBucketState:
+    def test_build_offsets(self):
+        state = BucketState.build(np.arange(10), np.zeros((10, 1)), 4)
+        assert state.bucket_offsets.tolist() == [0, 3, 6, 8, 10]
+        assert state.nbuckets == 4
+
+    def test_bucket_key_ranges(self):
+        keys = np.array([1, 2, 5, 9, 20, 30])
+        state = BucketState.build(keys, np.zeros((6, 1)), 2)
+        assert state.bucket_lows.tolist() == [1, 9]
+        assert state.bucket_highs.tolist() == [5, 30]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            BucketState.build(np.array([3, 1]), np.zeros((2, 1)), 2)
+
+    def test_empty_state(self):
+        state = BucketState.build(np.empty(0, dtype=np.int64), np.zeros((0, 1)), 4)
+        assert state.n == 0
+        assert state.upper_key == np.iinfo(np.int64).min
+
+    def test_upper_key(self):
+        state = BucketState.build(np.array([1, 7]), np.zeros((2, 1)), 2)
+        assert state.upper_key == 7
+
+
+class TestIncrementalSort:
+    def test_identity_when_keys_unchanged(self):
+        vm = VirtualMachine(4, MachineModel.cm5())
+        states = make_states(4, 50)
+        new_keys = [s.keys.copy() for s in states]
+        keys_out, payloads_out, stats = bucket_incremental_sort(vm, states, new_keys)
+        assert stats.moved_rank == 0
+        assert stats.same_bucket == 200
+        for s, k in zip(states, keys_out):
+            assert np.array_equal(s.keys, k)
+
+    def test_globally_sorted_after_perturbation(self):
+        vm = VirtualMachine(4, MachineModel.cm5())
+        states = make_states(4, 100, seed=1)
+        rng = np.random.default_rng(2)
+        new_keys = [
+            s.keys + rng.integers(-500, 500, s.n) for s in states
+        ]
+        keys_out, payloads_out, stats = bucket_incremental_sort(vm, states, new_keys)
+        merged = np.concatenate(keys_out)
+        assert np.array_equal(merged, np.sort(np.concatenate(new_keys)))
+        assert stats.total == 400
+
+    def test_payload_follows_keys(self):
+        vm = VirtualMachine(4, MachineModel.cm5())
+        states = make_states(4, 50, seed=3)
+        # payload column = original key; perturb keys, payload should ride along
+        rng = np.random.default_rng(4)
+        new_keys = [s.keys + rng.integers(-100, 100, s.n) for s in states]
+        expected_pairs = sorted(
+            zip(np.concatenate(new_keys), np.concatenate([s.payload[:, 0] for s in states]))
+        )
+        keys_out, payloads_out, _ = bucket_incremental_sort(vm, states, new_keys)
+        got_keys = np.concatenate(keys_out)
+        got_payload = np.concatenate([p[:, 0] for p in payloads_out])
+        exp_keys = np.array([k for k, _ in expected_pairs])
+        assert np.array_equal(got_keys, exp_keys)
+        # payloads may tie-swap only among equal keys
+        for k in np.unique(got_keys):
+            sel = got_keys == k
+            exp_vals = sorted(v for kk, v in expected_pairs if kk == k)
+            assert sorted(got_payload[sel].tolist()) == exp_vals
+
+    def test_classification_counts(self):
+        """Small perturbations mostly stay in their bucket; big ones move
+        rank — the cost gradient the incremental algorithm exploits."""
+        vm = VirtualMachine(4, MachineModel.cm5())
+        states = make_states(4, 200, nbuckets=8, seed=5)
+        small = [s.keys + 1 for s in states]
+        _, _, stats_small = bucket_incremental_sort(vm, states, small)
+
+        states2 = make_states(4, 200, nbuckets=8, seed=5)
+        rng = np.random.default_rng(6)
+        big = [rng.permutation(np.concatenate([s.keys for s in states2]))[: s.n] for s in states2]
+        _, _, stats_big = bucket_incremental_sort(vm, states2, big)
+        assert stats_small.moved_rank < stats_big.moved_rank
+        assert stats_small.same_bucket > stats_big.same_bucket
+
+    def test_cheaper_than_full_sort_when_drift_small(self):
+        """Virtual cost of incremental sort under small drift must be
+        below a from-scratch sample sort of the same data (Fig 11)."""
+        from repro.particles.sort import parallel_sample_sort
+
+        p, n_per = 8, 500
+        states = make_states(p, n_per, seed=7)
+        new_keys = [s.keys + 2 for s in states]
+
+        vm_inc = VirtualMachine(p, MachineModel.cm5())
+        bucket_incremental_sort(vm_inc, states, new_keys)
+
+        vm_full = VirtualMachine(p, MachineModel.cm5())
+        payloads = [s.payload for s in make_states(p, n_per, seed=7)]
+        parallel_sample_sort(vm_full, new_keys, payloads)
+        assert vm_inc.elapsed() < vm_full.elapsed()
+
+    def test_more_buckets_cheapen_bucket_moves(self):
+        """Elements that change bucket pay O(log L) classification but a
+        cheaper per-bucket re-sort; with perturbations that move elements
+        between buckets, more buckets must not *increase* total cost and
+        should reduce the re-sort component."""
+        costs = {}
+        for nbuckets in (2, 32):
+            vm = VirtualMachine(4, MachineModel.cm5())
+            states = make_states(4, 1000, nbuckets=nbuckets, seed=11)
+            rng = np.random.default_rng(12)
+            new_keys = [s.keys + rng.integers(-2000, 2000, s.n) for s in states]
+            bucket_incremental_sort(vm, states, new_keys)
+            costs[nbuckets] = vm.compute_time.max()
+        assert costs[32] < costs[2]
+
+    def test_empty_rank_handled(self):
+        vm = VirtualMachine(3, MachineModel.cm5())
+        keys0 = np.array([1, 2, 3], dtype=np.int64)
+        states = [
+            BucketState.build(keys0, keys0.reshape(-1, 1).astype(float), 2),
+            BucketState.build(np.empty(0, dtype=np.int64), np.zeros((0, 1)), 2),
+            BucketState.build(np.array([10, 11], dtype=np.int64), np.zeros((2, 1)), 2),
+        ]
+        new_keys = [s.keys.copy() for s in states]
+        keys_out, _, _ = bucket_incremental_sort(vm, states, new_keys)
+        assert np.array_equal(np.concatenate(keys_out), [1, 2, 3, 10, 11])
+
+    def test_length_mismatch_rejected(self):
+        vm = VirtualMachine(2, MachineModel.cm5())
+        states = make_states(2, 10)
+        bad = [states[0].keys[:5], states[1].keys]
+        with pytest.raises(ValueError, match="length mismatch"):
+            bucket_incremental_sort(vm, states, bad)

@@ -1,0 +1,99 @@
+"""Tests for redistribution decision policies (paper §5.2)."""
+
+import pytest
+
+from repro.core import DynamicSARPolicy, PeriodicPolicy, StaticPolicy, make_policy
+from repro.core.policies import RedistributionPolicy
+
+
+class TestStatic:
+    def test_never_triggers(self):
+        policy = StaticPolicy()
+        for it in range(100):
+            policy.record_iteration(it, 1.0 + it)
+            assert not policy.should_redistribute(it)
+
+
+class TestPeriodic:
+    def test_fires_every_k(self):
+        policy = PeriodicPolicy(5)
+        fired = [it for it in range(20) if policy.should_redistribute(it)]
+        assert fired == [4, 9, 14, 19]
+
+    def test_period_one_fires_always(self):
+        policy = PeriodicPolicy(1)
+        assert all(policy.should_redistribute(it) for it in range(5))
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicPolicy(0)
+
+
+class TestDynamicSAR:
+    def test_no_trigger_before_observations(self):
+        assert not DynamicSARPolicy().should_redistribute(0)
+
+    def test_no_trigger_on_flat_times(self):
+        policy = DynamicSARPolicy(initial_cost=1.0)
+        for it in range(10):
+            policy.record_iteration(it, 2.0)
+        assert not policy.should_redistribute(9)
+
+    def test_triggers_per_equation_one(self):
+        """(t1 - t0) * (i1 - i0) >= T_redistribution."""
+        policy = DynamicSARPolicy(initial_cost=4.0)
+        policy.record_iteration(0, 1.0)  # i0 = 0, t0 = 1
+        policy.record_iteration(1, 2.0)  # rise 1 * span 1 = 1 < 4
+        assert not policy.should_redistribute(1)
+        policy.record_iteration(2, 3.0)  # rise 2 * span 2 = 4 >= 4
+        assert policy.should_redistribute(2)
+
+    def test_cost_update_resets_window(self):
+        policy = DynamicSARPolicy(initial_cost=0.5)
+        policy.record_iteration(0, 1.0)
+        policy.record_iteration(1, 3.0)
+        assert policy.should_redistribute(1)
+        policy.record_redistribution(1, 10.0)
+        policy.record_iteration(2, 1.0)
+        policy.record_iteration(3, 2.0)
+        # rise 1 * span 1 = 1 < new cost 10
+        assert not policy.should_redistribute(3)
+
+    def test_expensive_redistribution_raises_threshold(self):
+        cheap = DynamicSARPolicy(initial_cost=0.1)
+        dear = DynamicSARPolicy(initial_cost=100.0)
+        for policy in (cheap, dear):
+            policy.record_iteration(0, 1.0)
+            policy.record_iteration(1, 1.5)
+        assert cheap.should_redistribute(1)
+        assert not dear.should_redistribute(1)
+
+    def test_decreasing_time_never_triggers(self):
+        policy = DynamicSARPolicy(initial_cost=0.0)
+        policy.record_iteration(0, 5.0)
+        policy.record_iteration(1, 4.0)
+        assert not policy.should_redistribute(1)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            DynamicSARPolicy(initial_cost=-1.0)
+
+
+class TestMakePolicy:
+    def test_specs(self):
+        assert isinstance(make_policy("static"), StaticPolicy)
+        assert isinstance(make_policy("dynamic"), DynamicSARPolicy)
+        periodic = make_policy("periodic:25")
+        assert isinstance(periodic, PeriodicPolicy) and periodic.period == 25
+
+    def test_instance_passthrough(self):
+        policy = StaticPolicy()
+        assert make_policy(policy) is policy
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("sometimes")
+
+    def test_bad_period_string(self):
+        with pytest.raises(ValueError):
+            make_policy("periodic:x")

@@ -1,0 +1,106 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineModel, VirtualMachine
+from repro.mesh import CurveBlockDecomposition, Grid2D
+from repro.particles import ParticleArray, two_stream, uniform_plasma
+from repro.pic import ParallelPIC, SequentialPIC, Simulation, SimulationConfig
+
+
+class TestEmptyParticleSets:
+    def test_sequential_with_no_particles(self, grid):
+        sim = SequentialPIC(grid, ParticleArray.empty(0))
+        sim.run(3)
+        assert sim.iteration == 3
+        assert sim.fields.rho.sum() == 0
+
+    def test_parallel_with_one_empty_rank(self, grid):
+        vm = VirtualMachine(4, MachineModel.cm5())
+        decomp = CurveBlockDecomposition(grid, 4)
+        parts = uniform_plasma(grid, 300, rng=0)
+        local = [
+            parts.take(np.arange(0, 100)),
+            ParticleArray.empty(0),
+            parts.take(np.arange(100, 200)),
+            parts.take(np.arange(200, 300)),
+        ]
+        pic = ParallelPIC(vm, grid, decomp, local)
+        pic.step()
+        assert pic.all_particles().n == 300
+
+
+class TestExtremePositions:
+    def test_particle_exactly_on_domain_edge(self, grid):
+        parts = ParticleArray.empty(3)
+        parts.x[:] = [0.0, grid.lx - 1e-12, grid.lx]  # last wraps to 0
+        parts.y[:] = [0.0, grid.ly - 1e-12, 0.0]
+        parts.q[:] = -1.0
+        parts.m[:] = 1.0
+        parts.w[:] = 1.0
+        sim = SequentialPIC(grid, parts)
+        sim.run(2)
+        assert np.all(np.isfinite(sim.particles.x))
+        assert np.all(sim.particles.x >= 0) and np.all(sim.particles.x < grid.lx)
+
+    def test_zero_mass_particles_rejected(self, grid):
+        """ParticleArray.empty leaves m = 0; pushing such particles must
+        raise instead of silently producing NaNs."""
+        parts = ParticleArray.empty(2)
+        parts.q[:] = -1.0
+        parts.w[:] = 1.0  # mass left at 0
+        sim = SequentialPIC(grid, parts)
+        with pytest.raises(ValueError, match="positive particle masses"):
+            sim.step()
+
+    def test_cell_lookup_at_exact_boundaries(self, grid):
+        ids = grid.cell_id_of_positions(
+            np.array([0.0, grid.lx, -grid.lx]), np.array([0.0, 0.0, 0.0])
+        )
+        assert ids.tolist() == [0, 0, 0]
+
+
+class TestDegenerateMachines:
+    def test_two_rank_machine(self):
+        grid = Grid2D(8, 4)
+        cfg = SimulationConfig(nx=8, ny=4, nparticles=64, p=2, seed=0)
+        result = Simulation(cfg).run(3)
+        assert result.total_time > 0
+
+    def test_ranks_equal_cells(self):
+        grid = Grid2D(4, 2)
+        decomp = CurveBlockDecomposition(grid, 8)  # one cell per rank
+        assert decomp.cell_counts().tolist() == [1] * 8
+
+
+class TestDistributionConstraints:
+    def test_two_stream_simulation_rejects_odd_count(self):
+        with pytest.raises(ValueError, match="even"):
+            Simulation(SimulationConfig(nx=16, ny=16, nparticles=513, p=4,
+                                        distribution="two_stream", seed=0))
+
+    def test_ring_distribution_simulation_runs(self):
+        cfg = SimulationConfig(nx=16, ny=16, nparticles=512, p=4,
+                               distribution="ring", seed=0)
+        result = Simulation(cfg).run(3)
+        assert len(result.records) == 3
+
+
+class TestNumericalRobustness:
+    def test_no_nans_after_long_run(self):
+        cfg = SimulationConfig(nx=32, ny=16, nparticles=2048, p=8,
+                               distribution="irregular", policy="dynamic",
+                               seed=1, vth=0.2)
+        sim = Simulation(cfg)
+        sim.run(60)
+        parts = sim.pic.all_particles()
+        assert np.all(np.isfinite(parts.x)) and np.all(np.isfinite(parts.ux))
+        assert np.all(np.isfinite(sim.pic.fields.ez))
+
+    def test_extreme_thermal_velocity_stays_subluminal(self, grid):
+        parts = uniform_plasma(grid, 256, vth=5.0, rng=2)  # relativistic
+        sim = SequentialPIC(grid, parts)
+        sim.run(10)
+        v = np.sqrt(sim.particles.ux**2 + sim.particles.uy**2) / sim.particles.gamma()
+        assert v.max() < 1.0

@@ -1,0 +1,74 @@
+"""Property-based parallel-vs-sequential equivalence sweep.
+
+Hypothesis draws random small configurations (grid shape, particle
+count, rank count, indexing scheme, ghost table, decomposition kind)
+and asserts that the parallel PIC reproduces the sequential reference —
+the strongest single invariant in the library.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParticlePartitioner
+from repro.machine import MachineModel, VirtualMachine
+from repro.mesh import (
+    BlockDecomposition,
+    CurveBlockDecomposition,
+    Grid2D,
+    ScatterDecomposition,
+)
+from repro.particles import gaussian_blob, uniform_plasma
+from repro.pic import ParallelPIC, SequentialPIC
+
+
+@st.composite
+def configurations(draw):
+    nx = draw(st.sampled_from([8, 12, 16]))
+    ny = draw(st.sampled_from([8, 10, 16]))
+    n = draw(st.integers(16, 400))
+    p = draw(st.sampled_from([1, 2, 3, 4, 6]))
+    scheme = draw(st.sampled_from(["hilbert", "snake", "rowmajor", "morton"]))
+    table = draw(st.sampled_from(["hash", "direct"]))
+    decomp_kind = draw(st.sampled_from(["curve", "block", "scatter"]))
+    movement = draw(st.sampled_from(["lagrangian", "eulerian"]))
+    dist = draw(st.sampled_from(["uniform", "blob"]))
+    seed = draw(st.integers(0, 10**6))
+    steps = draw(st.integers(1, 4))
+    return (nx, ny, n, p, scheme, table, decomp_kind, movement, dist, seed, steps)
+
+
+class TestEquivalenceSweep:
+    @given(cfg=configurations())
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_equals_sequential(self, cfg):
+        nx, ny, n, p, scheme, table, decomp_kind, movement, dist, seed, steps = cfg
+        grid = Grid2D(nx, ny)
+        sampler = uniform_plasma if dist == "uniform" else gaussian_blob
+        particles = sampler(grid, n, rng=seed)
+
+        vm = VirtualMachine(p, MachineModel.cm5())
+        if decomp_kind == "curve":
+            decomp = CurveBlockDecomposition(grid, p, scheme)
+        elif decomp_kind == "block":
+            decomp = BlockDecomposition(grid, p)
+        else:
+            decomp = ScatterDecomposition(grid, p)
+        local = ParticlePartitioner(grid, scheme).initial_partition(particles, p)
+        pic = ParallelPIC(
+            vm, grid, decomp, local, ghost_table=table, movement=movement
+        )
+        seq = SequentialPIC(grid, particles.copy(), dt=pic.dt)
+        for _ in range(steps):
+            pic.step()
+            seq.step()
+
+        par = pic.all_particles()
+        assert par.n == seq.particles.n
+        po = np.argsort(par.ids)
+        so = np.argsort(seq.particles.ids)
+        np.testing.assert_allclose(par.x[po], seq.particles.x[so], atol=1e-9)
+        np.testing.assert_allclose(par.y[po], seq.particles.y[so], atol=1e-9)
+        np.testing.assert_allclose(par.ux[po], seq.particles.ux[so], atol=1e-9)
+        np.testing.assert_allclose(pic.fields.ez, seq.fields.ez, atol=1e-9)
+        np.testing.assert_allclose(pic.fields.rho, seq.fields.rho, atol=1e-9)

@@ -1,0 +1,220 @@
+"""Tests for the 3-D extension (Grid3D, Hilbert decomposition, kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.ext3d import (
+    CurveBlockDecomposition3D,
+    Grid3D,
+    ParticlePartitioner3D,
+    deposit_density_3d,
+    gather_field_3d,
+    gaussian_blob_3d,
+    uniform_positions_3d,
+)
+from repro.ext3d.decomposition import hilbert_keys_3d
+
+
+@pytest.fixture
+def grid3():
+    return Grid3D(8, 8, 8)
+
+
+class TestGrid3D:
+    def test_counts(self, grid3):
+        assert grid3.ncells == 512
+
+    def test_rejects_thin_grid(self):
+        with pytest.raises(ValueError):
+            Grid3D(1, 4, 4)
+
+    def test_cell_id_roundtrip(self, grid3):
+        ids = np.arange(grid3.ncells)
+        cx, cy, cz = grid3.cell_coords(ids)
+        assert np.array_equal(grid3.cell_id(cx, cy, cz), ids)
+
+    def test_wrap(self, grid3):
+        x, y, z = grid3.wrap_positions(np.array([-0.5]), np.array([8.5]), np.array([16.0]))
+        assert x[0] == pytest.approx(7.5)
+        assert y[0] == pytest.approx(0.5)
+        assert z[0] == pytest.approx(0.0)
+
+    def test_cic_weights_sum_to_one(self, grid3):
+        rng = np.random.default_rng(0)
+        x, y, z = (rng.uniform(0, 8, 200) for _ in range(3))
+        nodes, weights = grid3.cic_vertices_weights(x, y, z)
+        assert nodes.shape == (200, 8)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert weights.min() >= 0
+
+    def test_particle_on_node_full_weight(self, grid3):
+        nodes, weights = grid3.cic_vertices_weights(
+            np.array([3.0]), np.array([2.0]), np.array([5.0])
+        )
+        assert weights[0, 0] == pytest.approx(1.0)
+        assert nodes[0, 0] == (5 * 8 + 2) * 8 + 3
+
+
+class TestHilbertKeys3D:
+    def test_bijective_over_cube(self, grid3):
+        ids = np.arange(grid3.ncells)
+        keys = hilbert_keys_3d(grid3, *grid3.cell_coords(ids))
+        assert np.unique(keys).size == grid3.ncells
+
+    def test_non_cubic_grid(self):
+        grid = Grid3D(8, 4, 2)
+        ids = np.arange(grid.ncells)
+        keys = hilbert_keys_3d(grid, *grid.cell_coords(ids))
+        assert np.unique(keys).size == grid.ncells
+
+
+class TestDecomposition3D:
+    def test_balanced(self, grid3):
+        decomp = CurveBlockDecomposition3D(grid3, 8)
+        counts = decomp.cell_counts()
+        assert counts.sum() == 512
+        assert counts.max() - counts.min() <= 1
+
+    def test_hilbert_cubes_for_pow8(self, grid3):
+        """p = 8 on an 8^3 grid: Hilbert runs are 4x4x4 octants."""
+        decomp = CurveBlockDecomposition3D(grid3, 8)
+        for r in range(8):
+            cx, cy, cz = grid3.cell_coords(decomp.cells_of_rank(r))
+            assert cx.max() - cx.min() == 3
+            assert cy.max() - cy.min() == 3
+            assert cz.max() - cz.min() == 3
+
+    def test_hilbert_surface_below_rowmajor(self):
+        grid = Grid3D(16, 16, 16)
+        hil = CurveBlockDecomposition3D(grid, 16, "hilbert")
+        row = CurveBlockDecomposition3D(grid, 16, "rowmajor")
+        hil_surface = sum(hil.surface_area(r) for r in range(16))
+        row_surface = sum(row.surface_area(r) for r in range(16))
+        assert hil_surface < row_surface
+
+    def test_unknown_scheme(self, grid3):
+        with pytest.raises(ValueError):
+            CurveBlockDecomposition3D(grid3, 4, "snake")
+
+
+class TestPartitioner3D:
+    def test_partition_is_a_partition(self, grid3):
+        part = ParticlePartitioner3D(grid3, 8)
+        x, y, z = uniform_positions_3d(grid3, 999, rng=1)
+        assignment = part.partition(x, y, z)
+        counts = [idx.size for idx in assignment]
+        assert sum(counts) == 999
+        assert max(counts) - min(counts) <= 1
+        all_idx = np.sort(np.concatenate(assignment))
+        assert np.array_equal(all_idx, np.arange(999))
+
+    def test_alignment_high_for_uniform(self, grid3):
+        part = ParticlePartitioner3D(grid3, 8)
+        x, y, z = uniform_positions_3d(grid3, 8192, rng=2)
+        fractions = part.alignment_fraction(x, y, z)
+        assert fractions.min() > 0.6
+
+    def test_hilbert_fewer_ghosts_than_rowmajor_blob(self):
+        grid = Grid3D(16, 16, 16)
+        x, y, z = gaussian_blob_3d(grid, 8192, rng=3)
+        hil = ParticlePartitioner3D(grid, 16, "hilbert")
+        row = ParticlePartitioner3D(grid, 16, "rowmajor")
+        assert hil.ghost_vertex_count(x, y, z) < row.ghost_vertex_count(x, y, z)
+
+
+class TestKernels3D:
+    def test_deposition_conserves_charge(self, grid3):
+        x, y, z = uniform_positions_3d(grid3, 500, rng=4)
+        density = deposit_density_3d(grid3, x, y, z, charge=2.0)
+        volume = grid3.dx * grid3.dy * grid3.dz
+        assert density.sum() * volume == pytest.approx(1000.0)
+
+    def test_point_deposit(self, grid3):
+        density = deposit_density_3d(
+            grid3, np.array([2.0]), np.array([3.0]), np.array([4.0])
+        )
+        node = (4 * 8 + 3) * 8 + 2
+        assert density[node] == pytest.approx(1.0)
+        assert np.count_nonzero(density) == 1
+
+    def test_gather_constant_field(self, grid3):
+        field = np.full(grid3.nnodes, 7.5)
+        x, y, z = uniform_positions_3d(grid3, 100, rng=5)
+        values = gather_field_3d(grid3, field, x, y, z)
+        assert np.allclose(values, 7.5)
+
+    def test_gather_adjoint_of_deposit(self, grid3):
+        rng = np.random.default_rng(6)
+        field = rng.random(grid3.nnodes)
+        x, y, z = uniform_positions_3d(grid3, 64, rng=7)
+        density = deposit_density_3d(grid3, x, y, z)
+        volume = grid3.dx * grid3.dy * grid3.dz
+        lhs = (density * field).sum() * volume
+        rhs = gather_field_3d(grid3, field, x, y, z).sum()
+        assert lhs == pytest.approx(rhs)
+
+    def test_gather_shape_check(self, grid3):
+        with pytest.raises(ValueError):
+            gather_field_3d(grid3, np.zeros(3), np.zeros(1), np.zeros(1), np.zeros(1))
+
+
+class TestDistributedDeposit3D:
+    @staticmethod
+    def _setup(p=8, n=4096, scheme="hilbert", seed=10):
+        from repro.machine import MachineModel, VirtualMachine
+
+        grid = Grid3D(16, 16, 16)
+        x, y, z = gaussian_blob_3d(grid, n, rng=seed)
+        charge = np.full(n, -1.0)
+        part = ParticlePartitioner3D(grid, p, scheme)
+        assignment = part.partition(x, y, z)
+        positions = [(x[idx], y[idx], z[idx]) for idx in assignment]
+        charges = [charge[idx] for idx in assignment]
+        vm = VirtualMachine(p, MachineModel.cm5())
+        return vm, grid, part.decomp, positions, charges, (x, y, z, charge)
+
+    def test_matches_sequential(self):
+        from repro.ext3d import distributed_deposit_3d
+
+        vm, grid, decomp, positions, charges, (x, y, z, charge) = self._setup()
+        parallel = distributed_deposit_3d(vm, grid, decomp, positions, charges)
+        sequential = deposit_density_3d(grid, x, y, z, charge)
+        np.testing.assert_allclose(parallel, sequential, atol=1e-12)
+
+    def test_communication_charged(self):
+        from repro.ext3d import distributed_deposit_3d
+
+        vm, grid, decomp, positions, charges, _ = self._setup()
+        distributed_deposit_3d(vm, grid, decomp, positions, charges)
+        assert vm.stats.phase("scatter").total_msgs > 0
+        assert vm.comm_time.max() > 0
+
+    def test_hilbert_traffic_below_rowmajor(self):
+        from repro.ext3d import distributed_deposit_3d
+
+        volumes = {}
+        for scheme in ("hilbert", "rowmajor"):
+            vm, grid, decomp, positions, charges, _ = self._setup(scheme=scheme)
+            distributed_deposit_3d(vm, grid, decomp, positions, charges)
+            volumes[scheme] = vm.stats.phase("scatter").total_bytes
+        assert volumes["hilbert"] < volumes["rowmajor"]
+
+    def test_length_mismatch_rejected(self):
+        from repro.ext3d import distributed_deposit_3d
+
+        vm, grid, decomp, positions, charges, _ = self._setup(p=2)
+        charges[0] = charges[0][:-1]
+        with pytest.raises(ValueError, match="mismatch"):
+            distributed_deposit_3d(vm, grid, decomp, positions, charges)
+
+
+class TestSampling3D:
+    def test_uniform_in_domain(self, grid3):
+        x, y, z = uniform_positions_3d(grid3, 1000, rng=8)
+        for arr, ext in ((x, grid3.lx), (y, grid3.ly), (z, grid3.lz)):
+            assert arr.min() >= 0 and arr.max() < ext
+
+    def test_blob_concentrated(self, grid3):
+        x, y, z = gaussian_blob_3d(grid3, 4000, sigma_frac=0.05, rng=9)
+        r = np.sqrt((x - 4) ** 2 + (y - 4) ** 2 + (z - 4) ** 2)
+        assert np.median(r) < 1.0

@@ -1,0 +1,151 @@
+"""Tests for the Hilbert curve transforms (2-D and n-D)."""
+
+import numpy as np
+import pytest
+
+from repro.indexing import (
+    HilbertIndexing,
+    hilbert_d_to_xy,
+    hilbert_decode_nd,
+    hilbert_encode_nd,
+    hilbert_xy_to_d,
+)
+from repro.indexing.hilbert import hilbert_order_for
+
+
+class TestOrderFor:
+    @pytest.mark.parametrize(
+        "nx,ny,expected",
+        [(2, 2, 1), (4, 4, 2), (8, 8, 3), (5, 3, 3), (128, 64, 7), (1, 1, 1)],
+    )
+    def test_encloses_grid(self, nx, ny, expected):
+        assert hilbert_order_for(nx, ny) == expected
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hilbert_order_for(0, 4)
+
+
+class TestHilbert2D:
+    @pytest.mark.parametrize("order", [1, 2, 3, 5])
+    def test_bijection(self, order):
+        n = 1 << order
+        xs, ys = np.meshgrid(np.arange(n), np.arange(n))
+        d = hilbert_xy_to_d(order, xs.ravel(), ys.ravel())
+        assert np.array_equal(np.sort(d), np.arange(n * n))
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 5])
+    def test_roundtrip(self, order):
+        n = 1 << order
+        d = np.arange(n * n, dtype=np.int64)
+        x, y = hilbert_d_to_xy(order, d)
+        assert np.array_equal(hilbert_xy_to_d(order, x, y), d)
+
+    @pytest.mark.parametrize("order", [1, 2, 4, 6])
+    def test_unit_steps(self, order):
+        """Consecutive curve positions are grid neighbours — the defining
+        Hilbert property that gives 2-D locality."""
+        n = 1 << order
+        x, y = hilbert_d_to_xy(order, np.arange(n * n, dtype=np.int64))
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.all(steps == 1)
+
+    def test_scalar_inputs(self):
+        d = hilbert_xy_to_d(3, 0, 0)
+        assert d == 0
+
+    def test_known_order1_values(self):
+        # Order-1 curve: (0,0)->0, (0,1)->1, (1,1)->2, (1,0)->3.
+        xs = np.array([0, 0, 1, 1])
+        ys = np.array([0, 1, 1, 0])
+        assert np.array_equal(hilbert_xy_to_d(1, xs, ys), [0, 1, 2, 3])
+
+    def test_out_of_range_coordinate_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_xy_to_d(2, np.array([4]), np.array([0]))
+
+    def test_out_of_range_distance_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_d_to_xy(2, np.array([16]))
+
+    def test_order_bounds(self):
+        with pytest.raises(ValueError):
+            hilbert_xy_to_d(0, np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            hilbert_xy_to_d(32, np.array([0]), np.array([0]))
+
+    def test_inputs_not_mutated(self):
+        x = np.array([1, 2, 3])
+        y = np.array([0, 1, 2])
+        xc, yc = x.copy(), y.copy()
+        hilbert_xy_to_d(3, x, y)
+        assert np.array_equal(x, xc) and np.array_equal(y, yc)
+
+    def test_locality_beats_rowmajor(self):
+        """Mean index distance of grid neighbours should be far smaller
+        than for row-major ordering (the reason the paper uses Hilbert)."""
+        order = 5
+        n = 1 << order
+        xs, ys = np.meshgrid(np.arange(n), np.arange(n - 1))
+        d_here = hilbert_xy_to_d(order, xs.ravel(), ys.ravel())
+        d_up = hilbert_xy_to_d(order, xs.ravel(), ys.ravel() + 1)
+        hilbert_gap = np.abs(d_here - d_up).mean()
+        rowmajor_gap = n  # vertical neighbours are exactly n apart
+        assert hilbert_gap < rowmajor_gap
+
+
+class TestHilbertND:
+    @pytest.mark.parametrize("ndim,order", [(2, 3), (3, 3), (4, 2)])
+    def test_roundtrip(self, ndim, order):
+        total = (1 << order) ** ndim
+        d = np.arange(total, dtype=np.int64)
+        coords = hilbert_decode_nd(d, order, ndim)
+        assert np.array_equal(hilbert_encode_nd(coords, order), d)
+
+    @pytest.mark.parametrize("ndim,order", [(2, 4), (3, 3)])
+    def test_unit_steps(self, ndim, order):
+        total = (1 << order) ** ndim
+        coords = hilbert_decode_nd(np.arange(total, dtype=np.int64), order, ndim)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_coords_in_range(self):
+        coords = hilbert_decode_nd(np.arange(64, dtype=np.int64), 3, 2)
+        assert coords.min() >= 0 and coords.max() < 8
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="npoints, ndim"):
+            hilbert_encode_nd(np.arange(8), 3)
+
+    def test_rejects_key_overflow(self):
+        with pytest.raises(ValueError, match="<= 62"):
+            hilbert_encode_nd(np.zeros((1, 4), dtype=np.int64), 16)
+
+    def test_empty_input(self):
+        out = hilbert_encode_nd(np.empty((0, 2), dtype=np.int64), 3)
+        assert out.shape == (0,)
+
+
+class TestHilbertIndexing:
+    def test_keys_match_transform(self):
+        scheme = HilbertIndexing()
+        ix = np.array([0, 1, 2, 3])
+        iy = np.array([0, 0, 1, 1])
+        keys = scheme.keys(ix, iy, 4, 4)
+        assert np.array_equal(keys, hilbert_xy_to_d(2, ix, iy))
+
+    def test_non_power_of_two_grid_unique_keys(self):
+        scheme = HilbertIndexing()
+        iy, ix = np.divmod(np.arange(12 * 10), 12)
+        keys = scheme.keys(ix % 12, iy, 12, 10)
+        assert np.unique(keys).size == 120
+
+    def test_ordering_is_permutation(self):
+        order = HilbertIndexing().ordering(8, 8)
+        assert np.array_equal(np.sort(order), np.arange(64))
+
+    def test_positions_inverse_of_ordering(self):
+        scheme = HilbertIndexing()
+        order = scheme.ordering(8, 4)
+        pos = scheme.positions(8, 4)
+        assert np.array_equal(pos[order], np.arange(32))

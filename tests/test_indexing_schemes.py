@@ -1,0 +1,162 @@
+"""Tests for snake / row-major / Morton schemes and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.indexing import (
+    HilbertIndexing,
+    IndexingScheme,
+    MortonIndexing,
+    RowMajorIndexing,
+    SnakeIndexing,
+    available_schemes,
+    get_scheme,
+    morton_encode_2d,
+    register_scheme,
+)
+
+
+class TestRowMajor:
+    def test_keys(self):
+        scheme = RowMajorIndexing()
+        keys = scheme.keys(np.array([0, 1, 0]), np.array([0, 0, 1]), 4, 4)
+        assert np.array_equal(keys, [0, 1, 4])
+
+    def test_ordering_identity(self):
+        assert np.array_equal(RowMajorIndexing().ordering(5, 3), np.arange(15))
+
+
+class TestSnake:
+    def test_even_rows_forward(self):
+        scheme = SnakeIndexing()
+        keys = scheme.keys(np.arange(4), np.zeros(4, dtype=int), 4, 2)
+        assert np.array_equal(keys, [0, 1, 2, 3])
+
+    def test_odd_rows_reversed(self):
+        scheme = SnakeIndexing()
+        keys = scheme.keys(np.arange(4), np.ones(4, dtype=int), 4, 2)
+        assert np.array_equal(keys, [7, 6, 5, 4])
+
+    def test_bijection(self):
+        scheme = SnakeIndexing()
+        iy, ix = np.divmod(np.arange(6 * 7), 7)
+        keys = scheme.keys(ix, iy, 7, 6)
+        assert np.array_equal(np.sort(keys), np.arange(42))
+
+    def test_continuous_walk(self):
+        """The snake curve, like Hilbert, has unit steps — its weakness is
+        aspect ratio, not continuity."""
+        scheme = SnakeIndexing()
+        order = scheme.ordering(6, 4)
+        ys, xs = np.divmod(order, 6)
+        steps = np.abs(np.diff(xs)) + np.abs(np.diff(ys))
+        assert np.all(steps == 1)
+
+
+class TestMorton:
+    def test_encode_known(self):
+        # (x=1, y=0) -> 1 ; (0, 1) -> 2 ; (1, 1) -> 3 ; (2, 0) -> 4
+        assert np.array_equal(
+            morton_encode_2d(np.array([1, 0, 1, 2]), np.array([0, 1, 1, 0])),
+            [1, 2, 3, 4],
+        )
+
+    def test_bijection(self):
+        iy, ix = np.divmod(np.arange(16 * 16), 16)
+        keys = MortonIndexing().keys(ix, iy, 16, 16)
+        assert np.unique(keys).size == 256
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            morton_encode_2d(np.array([-1]), np.array([0]))
+
+
+class TestBaseValidation:
+    @pytest.mark.parametrize("scheme", [HilbertIndexing(), SnakeIndexing(), RowMajorIndexing(), MortonIndexing()])
+    def test_out_of_range_raises(self, scheme):
+        with pytest.raises(ValueError, match="out of range"):
+            scheme.keys(np.array([8]), np.array([0]), 8, 8)
+
+    def test_empty_input_ok(self):
+        keys = HilbertIndexing().keys(np.array([], dtype=int), np.array([], dtype=int), 4, 4)
+        assert keys.size == 0
+
+
+class TestRegistry:
+    def test_known_schemes_present(self):
+        names = available_schemes()
+        for expect in ("hilbert", "snake", "rowmajor", "morton"):
+            assert expect in names
+
+    def test_get_by_name(self):
+        assert isinstance(get_scheme("hilbert"), HilbertIndexing)
+        assert isinstance(get_scheme("snake"), SnakeIndexing)
+
+    def test_instance_passthrough(self):
+        scheme = SnakeIndexing()
+        assert get_scheme(scheme) is scheme
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown indexing scheme"):
+            get_scheme("peano")
+
+    def test_register_custom(self):
+        class Diagonal(IndexingScheme):
+            name = "diagonal-test"
+
+            def keys(self, ix, iy, nx, ny):
+                ix, iy = self._validate(ix, iy, nx, ny)
+                return (ix + iy) * np.int64(max(nx, ny)) + ix
+
+        register_scheme(Diagonal)
+        assert isinstance(get_scheme("diagonal-test"), Diagonal)
+
+    def test_register_rejects_non_scheme(self):
+        with pytest.raises(TypeError):
+            register_scheme(int)
+
+    def test_register_rejects_default_name(self):
+        class Nameless(IndexingScheme):
+            def keys(self, ix, iy, nx, ny):  # pragma: no cover
+                return np.zeros_like(ix)
+
+        with pytest.raises(ValueError, match="non-default"):
+            register_scheme(Nameless)
+
+
+class TestSubdomainQuality:
+    """The structural claim of paper §6.3: equal curve runs have smaller
+    bounding boxes under Hilbert than under snake ordering."""
+
+    @staticmethod
+    def _max_bbox_aspect(scheme_name, nx, ny, p):
+        order = get_scheme(scheme_name).ordering(nx, ny)
+        chunk = (nx * ny) // p
+        worst = 0.0
+        for r in range(p):
+            cells = order[r * chunk : (r + 1) * chunk]
+            ys, xs = np.divmod(cells, nx)
+            w = xs.max() - xs.min() + 1
+            h = ys.max() - ys.min() + 1
+            worst = max(worst, max(w / h, h / w))
+        return worst
+
+    def test_hilbert_subdomains_squarer_than_snake(self):
+        hil = self._max_bbox_aspect("hilbert", 32, 32, 16)
+        snk = self._max_bbox_aspect("snake", 32, 32, 16)
+        assert hil < snk
+
+    def test_hilbert_perimeter_smaller(self):
+        """Total subdomain perimeter (comm proxy) lower for Hilbert."""
+
+        def total_perimeter(scheme_name, nx, ny, p):
+            scheme = get_scheme(scheme_name)
+            pos = scheme.positions(nx, ny)
+            chunk = (nx * ny) // p
+            owner = pos // chunk
+            grid_owner = owner.reshape(ny, nx)
+            horiz = grid_owner != np.roll(grid_owner, 1, axis=1)
+            vert = grid_owner != np.roll(grid_owner, 1, axis=0)
+            return int(horiz.sum() + vert.sum())
+
+        assert total_perimeter("hilbert", 32, 32, 16) < total_perimeter("snake", 32, 32, 16)

@@ -1,0 +1,80 @@
+"""Tests for the two-level machine cost model."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineModel
+
+
+class TestPresets:
+    def test_cm5_constants(self):
+        model = MachineModel.cm5()
+        assert model.name == "cm5"
+        assert model.tau == pytest.approx(86e-6)
+        assert model.delta == pytest.approx(2e-7)
+
+    def test_modern_has_higher_compute_comm_ratio(self):
+        """The paper notes the CM-5's compute/comm ratio is unusually
+        small; a modern preset must have a larger tau/delta ratio."""
+        cm5 = MachineModel.cm5()
+        modern = MachineModel.modern()
+        assert modern.tau / modern.delta > cm5.tau / cm5.delta
+
+    def test_zero_compute_model(self):
+        model = MachineModel.zero_compute()
+        assert model.compute_cost("scatter", 1e6) < 1e-12
+        assert model.message_cost(100) > 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            MachineModel(delta=0.0)
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ValueError):
+            MachineModel(tau=-1.0)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            MachineModel(op_weights={"scatter": 0.0})
+
+
+class TestCosts:
+    def test_compute_cost_linear(self):
+        model = MachineModel.cm5()
+        assert model.compute_cost("scatter", 200) == pytest.approx(
+            2 * model.compute_cost("scatter", 100)
+        )
+
+    def test_compute_cost_unknown_category_uses_delta(self):
+        model = MachineModel.cm5()
+        assert model.compute_cost("mystery", 10) == pytest.approx(10 * model.delta)
+
+    def test_compute_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MachineModel.cm5().compute_cost("scatter", -1)
+
+    def test_message_cost_startup_plus_bandwidth(self):
+        model = MachineModel.cm5()
+        assert model.message_cost(0, 1) == pytest.approx(model.tau)
+        assert model.message_cost(1000, 1) == pytest.approx(model.tau + 1000 * model.mu)
+
+    def test_message_cost_multiple_messages(self):
+        model = MachineModel.cm5()
+        assert model.message_cost(1000, 3) == pytest.approx(3 * model.tau + 1000 * model.mu)
+
+    def test_collective_cost_log_depth(self):
+        model = MachineModel.cm5()
+        assert model.collective_cost(1, 100) == 0.0
+        c8 = model.collective_cost(8, 0)
+        c16 = model.collective_cost(16, 0)
+        assert c16 == pytest.approx(c8 * 4 / 3)  # log2 16 / log2 8
+
+    def test_collective_cost_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            MachineModel.cm5().collective_cost(0, 10)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineModel.cm5().tau = 1.0

@@ -1,0 +1,52 @@
+"""Tests for processor-grid topology."""
+
+import pytest
+
+from repro.machine import BlockTopology, best_process_grid
+
+
+class TestBestProcessGrid:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(1, (1, 1)), (4, (2, 2)), (6, (2, 3)), (12, (3, 4)), (32, (4, 8)), (64, (8, 8)), (128, (8, 16)), (7, (1, 7))],
+    )
+    def test_most_square_factorization(self, p, expected):
+        assert best_process_grid(p) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            best_process_grid(0)
+
+
+class TestBlockTopology:
+    def test_coords_rank_roundtrip(self):
+        topo = BlockTopology(3, 4)
+        for rank in range(12):
+            row, col = topo.coords(rank)
+            assert topo.rank(row, col) == rank
+
+    def test_square_ish(self):
+        topo = BlockTopology.square_ish(32)
+        assert topo.pr * topo.pc == 32 and topo.pr == 4
+
+    def test_periodic_neighbors_wrap(self):
+        topo = BlockTopology(2, 3, periodic=True)
+        nbrs = topo.neighbors(0)  # coords (0, 0)
+        assert nbrs["north"] == topo.rank(1, 0)  # wraps
+        assert nbrs["west"] == topo.rank(0, 2)
+        assert nbrs["east"] == topo.rank(0, 1)
+
+    def test_open_boundary_neighbors_none(self):
+        topo = BlockTopology(2, 2, periodic=False)
+        nbrs = topo.neighbors(0)
+        assert nbrs["north"] is None and nbrs["west"] is None
+        assert nbrs["south"] == 2 and nbrs["east"] == 1
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            BlockTopology(2, 2).coords(4)
+
+    def test_nonperiodic_rank_range_check(self):
+        topo = BlockTopology(2, 2, periodic=False)
+        with pytest.raises(ValueError):
+            topo.rank(2, 0)

@@ -1,0 +1,90 @@
+"""Tests for the phase-trace profiler."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineModel, VirtualMachine
+from repro.machine.trace import PhaseTrace
+
+
+@pytest.fixture
+def traced_vm():
+    vm = VirtualMachine(2, MachineModel.cm5())
+    trace = PhaseTrace(vm)
+    for _ in range(5):
+        with vm.phase("scatter"):
+            vm.charge_ops("scatter", 100)
+        with vm.phase("push"):
+            vm.charge_ops("push", 50)
+        trace.snapshot()
+    return vm, trace
+
+
+class TestSnapshots:
+    def test_row_count(self, traced_vm):
+        _, trace = traced_vm
+        assert len(trace.rows) == 5
+
+    def test_increments_not_cumulative(self, traced_vm):
+        _, trace = traced_vm
+        scatter = trace.series("scatter")
+        assert np.allclose(scatter, scatter[0])
+        assert scatter[0] > 0
+
+    def test_totals_match_vm(self, traced_vm):
+        vm, trace = traced_vm
+        totals = trace.totals()
+        breakdown = vm.phase_breakdown()
+        assert totals["scatter"] == pytest.approx(breakdown["scatter"])
+        assert totals["push"] == pytest.approx(breakdown["push"])
+
+    def test_phases_sorted(self, traced_vm):
+        _, trace = traced_vm
+        assert trace.phases == ["push", "scatter"]
+
+    def test_unseen_phase_series_zero(self, traced_vm):
+        _, trace = traced_vm
+        assert trace.series("gather").sum() == 0
+
+
+class TestRender:
+    def test_render_contains_glyphs(self, traced_vm):
+        _, trace = traced_vm
+        out = trace.render(width=10)
+        assert "S=scatter" in out and "P=push" in out
+        assert "S" in out.splitlines()[-2] or "P" in out.splitlines()[-2]
+
+    def test_render_empty_raises(self):
+        vm = VirtualMachine(2)
+        with pytest.raises(ValueError):
+            PhaseTrace(vm).render()
+
+    def test_unknown_phase_gets_x_glyph(self):
+        vm = VirtualMachine(2)
+        trace = PhaseTrace(vm)
+        with vm.phase("mystery"):
+            vm.charge_ops("push", 10)
+        trace.snapshot()
+        out = trace.render()
+        assert "X=mystery" in out
+
+    def test_migration_glyph(self):
+        vm = VirtualMachine(2)
+        trace = PhaseTrace(vm)
+        with vm.phase("migration"):
+            vm.charge_ops("index", 10)
+        trace.snapshot()
+        assert "M=migration" in trace.render()
+
+    def test_render_with_simulation(self):
+        """Trace a real mini-run end to end."""
+        from repro.pic import Simulation, SimulationConfig
+
+        sim = Simulation(SimulationConfig(nx=16, ny=16, nparticles=512, p=4, seed=0))
+        trace = PhaseTrace(sim.vm)
+        for _ in range(5):
+            sim.pic.step()
+            trace.snapshot()
+        out = trace.render()
+        for phase in ("scatter", "field", "gather", "push"):
+            assert phase in out

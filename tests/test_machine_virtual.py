@@ -1,0 +1,213 @@
+"""Tests for the virtual machine: clocks, charging, alltoallv, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineModel, VirtualMachine
+from repro.machine.virtual import payload_nbytes
+
+
+class TestConstruction:
+    def test_defaults_to_cm5(self):
+        vm = VirtualMachine(4)
+        assert vm.model.name == "cm5"
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(0)
+
+    def test_clocks_start_at_zero(self, vm4):
+        assert vm4.elapsed() == 0.0
+
+
+class TestCharging:
+    def test_charge_ops_scalar_broadcast(self, vm4):
+        vm4.charge_ops("scatter", 100)
+        expected = vm4.model.compute_cost("scatter", 100)
+        assert np.allclose(vm4.clocks, expected)
+        assert np.allclose(vm4.compute_time, expected)
+
+    def test_charge_ops_per_rank(self, vm4):
+        vm4.charge_ops("push", np.array([1.0, 2.0, 3.0, 4.0]))
+        assert vm4.clocks[3] == pytest.approx(4 * vm4.clocks[0])
+
+    def test_comm_and_compute_tracked_separately(self, vm4):
+        vm4.charge_compute_seconds(1.0)
+        vm4.charge_comm_seconds(0.5)
+        assert np.allclose(vm4.compute_time, 1.0)
+        assert np.allclose(vm4.comm_time, 0.5)
+        assert vm4.elapsed() == pytest.approx(1.5)
+
+    def test_negative_charge_rejected(self, vm4):
+        with pytest.raises(ValueError):
+            vm4.charge_compute_seconds(-1.0)
+
+    def test_phase_labels_costs(self, vm4):
+        with vm4.phase("scatter"):
+            vm4.charge_ops("scatter", 10)
+        with vm4.phase("push"):
+            vm4.charge_ops("push", 10)
+        breakdown = vm4.phase_breakdown()
+        assert set(breakdown) == {"scatter", "push"}
+        assert breakdown["scatter"] > 0
+
+    def test_nested_phases(self, vm4):
+        with vm4.phase("outer"):
+            with vm4.phase("inner"):
+                assert vm4.current_phase == "inner"
+            assert vm4.current_phase == "outer"
+        assert vm4.current_phase == "default"
+
+    def test_barrier_syncs_to_max(self, vm4):
+        vm4.charge_ops("push", np.array([1.0, 5.0, 2.0, 3.0]))
+        vm4.barrier()
+        assert np.all(vm4.clocks == vm4.clocks[0])
+
+
+class TestAlltoallv:
+    def test_payload_delivery(self, vm4):
+        send = [dict() for _ in range(4)]
+        send[0][3] = np.arange(10.0)
+        send[2][1] = np.arange(5.0)
+        recv = vm4.alltoallv(send)
+        assert np.array_equal(recv[3][0], np.arange(10.0))
+        assert np.array_equal(recv[1][2], np.arange(5.0))
+        assert recv[0] == {}
+
+    def test_self_send_free(self, vm4):
+        send = [dict() for _ in range(4)]
+        send[1][1] = np.arange(100.0)
+        vm4.alltoallv(send)
+        assert vm4.elapsed() == 0.0
+        assert vm4.stats.phase("default").total_msgs == 0
+
+    def test_cost_formula(self):
+        vm = VirtualMachine(2, MachineModel.cm5())
+        payload = np.arange(100.0)  # 800 bytes
+        send = [{1: payload}, {}]
+        vm.alltoallv(send, sync=False)
+        model = vm.model
+        expected = model.tau + 800 * model.mu  # sender: one msg out
+        assert vm.clocks[0] == pytest.approx(expected)
+        assert vm.clocks[1] == pytest.approx(expected)  # receiver symmetric
+
+    def test_sync_barrier_applied(self, vm4):
+        send = [dict() for _ in range(4)]
+        send[0][1] = np.arange(10.0)
+        vm4.alltoallv(send)
+        assert np.all(vm4.clocks == vm4.clocks.max())
+
+    def test_stats_recorded_under_phase(self, vm4):
+        send = [dict() for _ in range(4)]
+        send[0][1] = np.zeros(4)
+        with vm4.phase("scatter"):
+            vm4.alltoallv(send)
+        rec = vm4.stats.phase("scatter")
+        assert rec.msgs_sent[0] == 1 and rec.bytes_recv[1] == 32
+
+    def test_wrong_length_rejected(self, vm4):
+        with pytest.raises(ValueError):
+            vm4.alltoallv([{}])
+
+    def test_bad_destination_rejected(self, vm4):
+        with pytest.raises(ValueError):
+            vm4.alltoallv([{9: np.zeros(1)}, {}, {}, {}])
+
+    def test_tuple_payload(self, vm4):
+        ids = np.arange(3, dtype=np.int64)
+        vals = np.zeros((4, 3))
+        send = [dict() for _ in range(4)]
+        send[0][1] = (ids, vals)
+        recv = vm4.alltoallv(send)
+        got_ids, got_vals = recv[1][0]
+        assert np.array_equal(got_ids, ids)
+        assert got_vals.shape == (4, 3)
+
+
+class TestCollectives:
+    def test_allgather_values(self, vm4):
+        values = [np.array([float(r)]) for r in range(4)]
+        out = vm4.allgather(values)
+        assert len(out) == 4
+        for r in range(4):
+            assert [v[0] for v in out[r]] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_allgather_costs_all_ranks_equally(self, vm4):
+        vm4.allgather([np.zeros(10) for _ in range(4)])
+        assert vm4.elapsed() > 0
+        assert np.all(vm4.clocks == vm4.clocks[0])
+
+    def test_allreduce_sum(self, vm4):
+        arrays = [np.full(3, float(r)) for r in range(4)]
+        out = vm4.allreduce(arrays, op="sum")
+        assert np.array_equal(out[0], np.full(3, 6.0))
+
+    def test_allreduce_max_min(self, vm4):
+        arrays = [np.array([float(r), -float(r)]) for r in range(4)]
+        assert np.array_equal(vm4.allreduce(arrays, op="max")[0], [3.0, 0.0])
+        assert np.array_equal(vm4.allreduce(arrays, op="min")[0], [0.0, -3.0])
+
+    def test_allreduce_result_copies_independent(self, vm4):
+        out = vm4.allreduce([np.ones(2) for _ in range(4)])
+        out[0][0] = 99
+        assert out[1][0] == 4.0
+
+    def test_allreduce_shape_mismatch(self, vm4):
+        with pytest.raises(ValueError, match="same shape"):
+            vm4.allreduce([np.ones(2), np.ones(3), np.ones(2), np.ones(2)])
+
+    def test_allreduce_bad_op(self, vm4):
+        with pytest.raises(ValueError, match="unsupported"):
+            vm4.allreduce([np.ones(1)] * 4, op="prod")
+
+    def test_allreduce_scalar(self, vm4):
+        assert vm4.allreduce_scalar([1.0, 2.0, 3.0, 4.0]) == pytest.approx(10.0)
+
+
+class TestCollectivesExtra:
+    def test_allgather_explicit_sizes(self, vm4):
+        values = [np.zeros(1) for _ in range(4)]
+        vm4.allgather(values, nbytes_each=np.array([100, 200, 300, 400]))
+        rec = vm4.stats.phase("default")
+        assert rec.bytes_sent.tolist() == [100, 200, 300, 400]
+        assert np.all(rec.bytes_recv == 1000)
+
+    def test_phase_time_accumulates_across_calls(self, vm4):
+        with vm4.phase("scatter"):
+            vm4.charge_ops("scatter", 10)
+        with vm4.phase("scatter"):
+            vm4.charge_ops("scatter", 10)
+        single = vm4.model.compute_cost("scatter", 10)
+        assert vm4.phase_breakdown()["scatter"] == pytest.approx(2 * single)
+
+    def test_elapsed_monotone(self, vm4):
+        times = [vm4.elapsed()]
+        vm4.charge_ops("push", 5)
+        times.append(vm4.elapsed())
+        vm4.allreduce_scalar([1.0] * 4)
+        times.append(vm4.elapsed())
+        assert times[0] < times[1] < times[2]
+
+    def test_comm_plus_compute_equals_clock(self, vm4):
+        """With bulk-synchronous equal charging, clock = compute + comm."""
+        vm4.charge_ops("push", 100)  # same on every rank
+        vm4.allreduce([np.zeros(4)] * 4)
+        total = vm4.compute_time + vm4.comm_time
+        assert np.allclose(total, vm4.clocks)
+
+
+class TestPayloadNbytes:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_tuple_of_arrays(self):
+        assert payload_nbytes((np.zeros(2), np.zeros((3, 4)))) == 16 + 96
+
+    def test_scalar(self):
+        assert payload_nbytes(3.5) == 8
+
+    def test_sized_object(self):
+        assert payload_nbytes([1, 2, 3]) == 24
+
+    def test_fallback(self):
+        assert payload_nbytes(object()) == 64

@@ -1,0 +1,137 @@
+"""Tests for mesh decompositions (curve-block and rectangular block)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import BlockDecomposition, CurveBlockDecomposition, Grid2D
+from repro.mesh.decomposition import balanced_splits
+
+
+class TestBalancedSplits:
+    def test_even_split(self):
+        assert balanced_splits(12, 4).tolist() == [0, 3, 6, 9, 12]
+
+    def test_remainder_goes_to_leading_runs(self):
+        assert balanced_splits(10, 4).tolist() == [0, 3, 6, 8, 10]
+
+    def test_degenerate(self):
+        assert balanced_splits(0, 3).tolist() == [0, 0, 0, 0]
+        assert balanced_splits(5, 1).tolist() == [0, 5]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            balanced_splits(5, 0)
+
+
+class TestCurveBlock:
+    def test_every_cell_owned_once(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4)
+        counts = decomp.cell_counts()
+        assert counts.sum() == grid.ncells
+
+    def test_balanced(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4)
+        counts = decomp.cell_counts()
+        assert counts.max() - counts.min() <= 1
+        assert decomp.max_cell_imbalance() == pytest.approx(1.0, abs=0.05)
+
+    def test_contiguous_along_curve(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4, "hilbert")
+        pos = decomp.scheme.positions(grid.nx, grid.ny)
+        for r in range(4):
+            cells = decomp.cells_of_rank(r)
+            run = np.sort(pos[cells])
+            assert np.array_equal(run, np.arange(run[0], run[0] + run.size))
+
+    def test_hilbert_tiles_square_for_pow4(self):
+        """On a 2^k square grid with p = 4^j, Hilbert runs are square tiles
+        (paper Figure 10)."""
+        grid = Grid2D(8, 8)
+        decomp = CurveBlockDecomposition(grid, 4, "hilbert")
+        for r in range(4):
+            cells = decomp.cells_of_rank(r)
+            ys, xs = np.divmod(cells, 8)
+            assert xs.max() - xs.min() == 3 and ys.max() - ys.min() == 3
+
+    def test_snake_tiles_are_strips(self):
+        grid = Grid2D(8, 8)
+        decomp = CurveBlockDecomposition(grid, 4, "snake")
+        cells = decomp.cells_of_rank(0)
+        ys, xs = np.divmod(cells, 8)
+        assert xs.max() - xs.min() == 7  # full-width strip
+        assert ys.max() - ys.min() == 1
+
+    def test_owner_of_cells_range_check(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4)
+        with pytest.raises(ValueError):
+            decomp.owner_of_cells(np.array([grid.ncells]))
+
+    def test_nodes_alias_cells(self, grid):
+        decomp = CurveBlockDecomposition(grid, 4)
+        assert np.array_equal(decomp.nodes_of_rank(2), decomp.cells_of_rank(2))
+
+    def test_explicit_bounds(self, grid):
+        ncells = grid.ncells
+        bounds = np.array([0, ncells // 8, ncells // 2, ncells // 2, ncells])
+        decomp = CurveBlockDecomposition(grid, 4, bounds=bounds)
+        counts = decomp.cell_counts()
+        assert counts[2] == 0  # zero-width run
+        assert counts.sum() == ncells
+
+    def test_bad_bounds_rejected(self, grid):
+        with pytest.raises(ValueError, match="length p\\+1"):
+            CurveBlockDecomposition(grid, 4, bounds=np.array([0, grid.ncells]))
+        bad = np.array([0, 10, 5, 20, grid.ncells])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CurveBlockDecomposition(grid, 4, bounds=bad)
+
+    def test_boundary_node_count_hilbert_below_snake(self):
+        grid = Grid2D(32, 32)
+        hil = CurveBlockDecomposition(grid, 16, "hilbert")
+        snk = CurveBlockDecomposition(grid, 16, "snake")
+        hil_total = sum(hil.boundary_node_count(r) for r in range(16))
+        snk_total = sum(snk.boundary_node_count(r) for r in range(16))
+        assert hil_total < snk_total
+
+    def test_more_ranks_than_cells_rejected(self):
+        grid = Grid2D(2, 2)
+        with pytest.raises(ValueError):
+            CurveBlockDecomposition(grid, 5)
+
+
+class TestBlockDecomposition:
+    def test_tile_bounds_cover_grid(self):
+        grid = Grid2D(16, 8)
+        decomp = BlockDecomposition(grid, 8)
+        seen = np.zeros(grid.shape, dtype=int)
+        for r in range(8):
+            iy0, iy1, ix0, ix1 = decomp.tile(r)
+            seen[iy0:iy1, ix0:ix1] += 1
+        assert np.all(seen == 1)
+
+    def test_owner_matches_tiles(self):
+        grid = Grid2D(16, 8)
+        decomp = BlockDecomposition(grid, 8)
+        for r in range(8):
+            cells = decomp.cells_of_rank(r)
+            iy0, iy1, ix0, ix1 = decomp.tile(r)
+            ys, xs = np.divmod(cells, 16)
+            assert xs.min() >= ix0 and xs.max() < ix1
+            assert ys.min() >= iy0 and ys.max() < iy1
+
+    def test_explicit_grid_shape(self):
+        grid = Grid2D(16, 8)
+        decomp = BlockDecomposition(grid, 8, pr=2, pc=4)
+        assert decomp.pr == 2 and decomp.pc == 4
+
+    def test_bad_factorization_rejected(self):
+        grid = Grid2D(16, 8)
+        with pytest.raises(ValueError, match="pr \\* pc"):
+            BlockDecomposition(grid, 8, pr=3, pc=3)
+
+    def test_uneven_divisions_balanced(self):
+        grid = Grid2D(10, 7)
+        decomp = BlockDecomposition(grid, 6, pr=2, pc=3)
+        counts = decomp.cell_counts()
+        assert counts.sum() == 70
+        assert counts.max() - counts.min() <= 7  # (4x4 vs 3x3 tiles)

@@ -1,0 +1,52 @@
+"""Tests for field storage and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import FieldState, Grid2D
+
+
+class TestFieldState:
+    def test_zeros_shape(self, grid):
+        fields = FieldState.zeros(grid)
+        assert fields.shape == grid.shape
+        assert fields.ex.sum() == 0
+
+    def test_shape_mismatch_rejected(self, grid):
+        arrays = [np.zeros(grid.shape)] * 9 + [np.zeros((3, 3))]
+        with pytest.raises(ValueError, match="one shape"):
+            FieldState(*arrays)
+
+    def test_copy_is_deep(self, grid):
+        fields = FieldState.zeros(grid)
+        dup = fields.copy()
+        dup.ex[0, 0] = 5.0
+        assert fields.ex[0, 0] == 0.0
+
+    def test_clear_sources_leaves_fields(self, grid):
+        fields = FieldState.zeros(grid)
+        fields.ex[:] = 1.0
+        fields.jx[:] = 2.0
+        fields.rho[:] = 3.0
+        fields.clear_sources()
+        assert fields.jx.sum() == 0 and fields.rho.sum() == 0
+        assert np.all(fields.ex == 1.0)
+
+    def test_field_energy(self):
+        grid = Grid2D(4, 4, lx=2.0, ly=2.0)
+        fields = FieldState.zeros(grid)
+        fields.ez[:] = 2.0
+        # 16 nodes * 0.5 * 4 * cell area (0.25)
+        assert fields.field_energy(grid) == pytest.approx(16 * 0.5 * 4 * 0.25)
+
+    def test_total_charge(self, grid):
+        fields = FieldState.zeros(grid)
+        fields.rho[:] = 1.0
+        assert fields.total_charge(grid) == pytest.approx(grid.ncells * grid.dx * grid.dy)
+
+    def test_allclose(self, grid):
+        a = FieldState.zeros(grid)
+        b = FieldState.zeros(grid)
+        assert a.allclose(b)
+        b.by[0, 0] = 1e-3
+        assert not a.allclose(b)

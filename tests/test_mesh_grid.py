@@ -1,0 +1,113 @@
+"""Tests for grid geometry and CIC vertex/weight computation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Grid2D
+
+
+class TestConstruction:
+    def test_defaults_unit_cells(self):
+        grid = Grid2D(8, 4)
+        assert grid.lx == 8 and grid.dx == 1.0 and grid.dy == 1.0
+
+    def test_custom_extent(self):
+        grid = Grid2D(8, 4, lx=2.0, ly=1.0)
+        assert grid.dx == pytest.approx(0.25)
+        assert grid.dy == pytest.approx(0.25)
+
+    def test_counts(self):
+        grid = Grid2D(128, 64)
+        assert grid.ncells == 8192 and grid.nnodes == 8192
+        assert grid.shape == (64, 128)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            Grid2D(1, 4)
+
+
+class TestCellLookup:
+    def test_wrap_positions(self):
+        grid = Grid2D(4, 4)
+        x, y = grid.wrap_positions(np.array([-0.5, 4.5]), np.array([4.0, -4.0]))
+        assert np.allclose(x, [3.5, 0.5])
+        assert np.allclose(y, [0.0, 0.0])
+
+    def test_cell_of(self):
+        grid = Grid2D(4, 4)
+        cx, cy = grid.cell_of(np.array([0.1, 3.9]), np.array([1.5, 0.0]))
+        assert cx.tolist() == [0, 3] and cy.tolist() == [1, 0]
+
+    def test_cell_id_roundtrip(self):
+        grid = Grid2D(6, 5)
+        ids = np.arange(30)
+        cx, cy = grid.cell_coords(ids)
+        assert np.array_equal(grid.cell_id(cx, cy), ids)
+
+    def test_cell_id_range_checks(self):
+        grid = Grid2D(4, 4)
+        with pytest.raises(ValueError):
+            grid.cell_id(np.array([4]), np.array([0]))
+        with pytest.raises(ValueError):
+            grid.cell_coords(np.array([16]))
+
+    def test_cell_id_of_positions_wraps(self):
+        grid = Grid2D(4, 4)
+        ids = grid.cell_id_of_positions(np.array([-0.5]), np.array([0.5]))
+        assert ids.tolist() == [3]
+
+
+class TestCIC:
+    def test_weights_sum_to_one(self):
+        grid = Grid2D(8, 8)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 8, 100)
+        y = rng.uniform(0, 8, 100)
+        _, weights = grid.cic_vertices_weights(x, y)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_particle_at_node_gets_full_weight(self):
+        grid = Grid2D(8, 8)
+        nodes, weights = grid.cic_vertices_weights(np.array([3.0]), np.array([2.0]))
+        assert weights[0, 0] == pytest.approx(1.0)
+        assert nodes[0, 0] == 2 * 8 + 3
+
+    def test_particle_at_cell_center_equal_weights(self):
+        grid = Grid2D(8, 8)
+        _, weights = grid.cic_vertices_weights(np.array([3.5]), np.array([2.5]))
+        assert np.allclose(weights, 0.25)
+
+    def test_vertices_wrap_periodically(self):
+        grid = Grid2D(4, 4)
+        nodes, _ = grid.cic_vertices_weights(np.array([3.5]), np.array([3.5]))
+        # cell (3, 3): vertices (3,3), (0,3), (3,0), (0,0)
+        assert set(nodes[0].tolist()) == {15, 12, 3, 0}
+
+    def test_vertices_are_cell_corners(self):
+        grid = Grid2D(8, 4)
+        nodes, _ = grid.cic_vertices_weights(np.array([2.3]), np.array([1.7]))
+        expected = {1 * 8 + 2, 1 * 8 + 3, 2 * 8 + 2, 2 * 8 + 3}
+        assert set(nodes[0].tolist()) == expected
+
+    def test_weights_nonnegative(self):
+        grid = Grid2D(16, 16)
+        rng = np.random.default_rng(1)
+        _, w = grid.cic_vertices_weights(rng.uniform(0, 16, 500), rng.uniform(0, 16, 500))
+        assert w.min() >= 0
+
+
+class TestNodeNeighbors:
+    def test_interior_node(self):
+        grid = Grid2D(4, 4)
+        nbrs = grid.node_neighbors(np.array([5]))  # (ix=1, iy=1)
+        assert set(nbrs[0].tolist()) == {4, 6, 1, 9}
+
+    def test_corner_wraps(self):
+        grid = Grid2D(4, 4)
+        nbrs = grid.node_neighbors(np.array([0]))
+        # west wraps to (3,0)=3, east 1, south wraps to (0,3)=12, north 4
+        assert set(nbrs[0].tolist()) == {3, 1, 12, 4}
+
+    def test_vectorized_shape(self):
+        grid = Grid2D(8, 8)
+        assert grid.node_neighbors(np.arange(64)).shape == (64, 4)

@@ -1,0 +1,86 @@
+"""Tests for the cyclic (scatter) decomposition baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePartitioner
+from repro.machine import MachineModel, VirtualMachine
+from repro.mesh import CurveBlockDecomposition, Grid2D, HaloSchedule, ScatterDecomposition
+from repro.particles import gaussian_blob, uniform_plasma
+from repro.pic import ParallelPIC, SequentialPIC
+
+
+class TestOwnership:
+    def test_cyclic_assignment(self, grid):
+        decomp = ScatterDecomposition(grid, 4)  # 2x2 processor grid
+        # first row of cells alternates between ranks 0 and 1
+        owners = decomp.owner_of_cells(np.arange(4))
+        assert owners.tolist() == [0, 1, 0, 1]
+        # second row alternates between ranks 2 and 3
+        owners = decomp.owner_of_cells(np.arange(grid.nx, grid.nx + 4))
+        assert owners.tolist() == [2, 3, 2, 3]
+
+    def test_perfectly_balanced(self, grid):
+        decomp = ScatterDecomposition(grid, 4)
+        counts = decomp.cell_counts()
+        assert counts.max() - counts.min() <= 1
+
+    def test_balances_any_load_pattern(self):
+        """Even a corner-concentrated blob is spread evenly — the one
+        virtue of scatter decomposition."""
+        grid = Grid2D(32, 32)
+        parts = gaussian_blob(grid, 8192, sigma_frac=0.08, center=(8.0, 8.0), rng=0)
+        decomp = ScatterDecomposition(grid, 8)
+        cells = grid.cell_id_of_positions(parts.x, parts.y)
+        counts = np.bincount(decomp.owner_of_cells(cells), minlength=8)
+        assert counts.max() < 1.5 * counts.mean()
+
+    def test_out_of_range(self, grid):
+        with pytest.raises(ValueError):
+            ScatterDecomposition(grid, 4).owner_of_cells(np.array([grid.ncells]))
+
+
+class TestAntiLocality:
+    def test_every_node_is_boundary(self, grid):
+        """With p > 2, every owned node has off-rank stencil neighbours."""
+        decomp = ScatterDecomposition(grid, 4)
+        for r in range(4):
+            assert decomp.boundary_node_count(r) == decomp.cell_counts()[r]
+
+    def test_halo_far_larger_than_block(self, grid):
+        scatter = HaloSchedule(ScatterDecomposition(grid, 4))
+        block = HaloSchedule(CurveBlockDecomposition(grid, 4, "hilbert"))
+        assert scatter.halo_sizes().sum() > 2 * block.halo_sizes().sum()
+
+
+class TestPhysicsStillExact:
+    def test_parallel_matches_sequential(self):
+        """Anti-locality costs communication, never correctness."""
+        grid = Grid2D(16, 8)
+        particles = uniform_plasma(grid, 512, rng=1)
+        vm = VirtualMachine(4, MachineModel.cm5())
+        decomp = ScatterDecomposition(grid, 4)
+        local = ParticlePartitioner(grid).initial_partition(particles, 4)
+        pic = ParallelPIC(vm, grid, decomp, local)
+        seq = SequentialPIC(grid, particles.copy(), dt=pic.dt)
+        for _ in range(5):
+            pic.step()
+            seq.step()
+        par = pic.all_particles()
+        po, so = np.argsort(par.ids), np.argsort(seq.particles.ids)
+        np.testing.assert_allclose(par.x[po], seq.particles.x[so], atol=1e-9)
+
+    def test_scatter_traffic_dwarfs_block_decomposition(self):
+        grid = Grid2D(16, 16)
+        particles = uniform_plasma(grid, 2048, rng=2)
+
+        def traffic(decomp):
+            vm = VirtualMachine(4, MachineModel.cm5())
+            local = ParticlePartitioner(grid).initial_partition(particles, 4)
+            pic = ParallelPIC(vm, grid, decomp, local)
+            pic.step()
+            return vm.stats.phase("scatter").total_bytes
+
+        cyclic = traffic(ScatterDecomposition(grid, 4))
+        block = traffic(CurveBlockDecomposition(grid, 4, "hilbert"))
+        assert cyclic > 3 * block

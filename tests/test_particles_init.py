@@ -1,0 +1,111 @@
+"""Tests for particle samplers."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Grid2D
+from repro.particles import gaussian_blob, ring_distribution, two_stream, uniform_plasma
+
+
+@pytest.fixture
+def grid():
+    return Grid2D(32, 32)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("sampler", [uniform_plasma, gaussian_blob, ring_distribution])
+    def test_positions_in_domain(self, grid, sampler):
+        parts = sampler(grid, 1000, rng=0)
+        assert parts.x.min() >= 0 and parts.x.max() < grid.lx
+        assert parts.y.min() >= 0 and parts.y.max() < grid.ly
+
+    @pytest.mark.parametrize("sampler", [uniform_plasma, gaussian_blob])
+    def test_reproducible_with_seed(self, grid, sampler):
+        a = sampler(grid, 100, rng=42)
+        b = sampler(grid, 100, rng=42)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.ux, b.ux)
+
+    def test_weight_normalization(self, grid):
+        parts = uniform_plasma(grid, 512, density=1.0, rng=0)
+        # mean density 1 per cell: total weight == ncells
+        assert parts.w.sum() == pytest.approx(grid.ncells)
+
+    def test_default_density_weakly_coupled(self, grid):
+        parts = uniform_plasma(grid, 512, rng=0)
+        assert parts.w.sum() == pytest.approx(0.01 * grid.ncells)
+
+    def test_density_rejected_nonpositive(self, grid):
+        with pytest.raises(ValueError, match="density"):
+            uniform_plasma(grid, 10, density=0.0, rng=0)
+
+    def test_electron_charge_mass(self, grid):
+        parts = uniform_plasma(grid, 10, rng=0)
+        assert np.all(parts.q == -1.0) and np.all(parts.m == 1.0)
+
+    def test_unique_ids(self, grid):
+        parts = gaussian_blob(grid, 500, rng=0)
+        assert np.unique(parts.ids).size == 500
+
+    def test_zero_particles(self, grid):
+        assert uniform_plasma(grid, 0, rng=0).n == 0
+
+    def test_negative_count_rejected(self, grid):
+        with pytest.raises(ValueError):
+            uniform_plasma(grid, -1, rng=0)
+
+
+class TestUniform:
+    def test_roughly_uniform_occupancy(self, grid):
+        parts = uniform_plasma(grid, 20000, rng=1)
+        cells = grid.cell_id_of_positions(parts.x, parts.y)
+        counts = np.bincount(cells, minlength=grid.ncells)
+        assert counts.min() > 0  # every cell populated at ~20/cell
+
+    def test_thermal_spread(self, grid):
+        parts = uniform_plasma(grid, 50000, vth=0.1, rng=2)
+        assert parts.ux.std() == pytest.approx(0.1, rel=0.05)
+
+
+class TestGaussianBlob:
+    def test_concentrated_at_center(self, grid):
+        parts = gaussian_blob(grid, 10000, sigma_frac=0.05, rng=3)
+        cx, cy = grid.lx / 2, grid.ly / 2
+        r = np.hypot(parts.x - cx, parts.y - cy)
+        assert np.median(r) < 0.1 * grid.lx
+
+    def test_irregularity_vs_uniform(self, grid):
+        """The blob's cell occupancy is far more skewed than uniform."""
+        blob = gaussian_blob(grid, 8192, rng=4)
+        unif = uniform_plasma(grid, 8192, rng=4)
+
+        def max_count(parts):
+            cells = grid.cell_id_of_positions(parts.x, parts.y)
+            return np.bincount(cells, minlength=grid.ncells).max()
+
+        assert max_count(blob) > 4 * max_count(unif)
+
+    def test_custom_center(self, grid):
+        parts = gaussian_blob(grid, 5000, center=(4.0, 4.0), sigma_frac=0.03, rng=5)
+        assert abs(np.median(parts.x) - 4.0) < 1.0
+
+    def test_bad_sigma_rejected(self, grid):
+        with pytest.raises(ValueError):
+            gaussian_blob(grid, 10, sigma_frac=0.0, rng=0)
+
+
+class TestTwoStream:
+    def test_two_beams(self, grid):
+        parts = two_stream(grid, 1000, vdrift=0.3, vth=0.001, rng=6)
+        assert (parts.ux > 0.2).sum() == 500
+        assert (parts.ux < -0.2).sum() == 500
+
+    def test_odd_count_rejected(self, grid):
+        with pytest.raises(ValueError, match="even"):
+            two_stream(grid, 7, rng=0)
+
+
+class TestRing:
+    def test_annulus_radius(self, grid):
+        parts = ring_distribution(grid, 5000, radius_frac=0.25, width_frac=0.01, rng=7)
+        r = np.hypot(parts.x - grid.lx / 2, parts.y - grid.ly / 2)
+        assert np.median(r) == pytest.approx(0.25 * grid.lx, rel=0.1)

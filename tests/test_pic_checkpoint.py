@@ -1,0 +1,95 @@
+"""Tests for checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePartitioner
+from repro.machine import MachineModel, VirtualMachine
+from repro.mesh import CurveBlockDecomposition, Grid2D
+from repro.particles import uniform_plasma
+from repro.pic import ParallelPIC, SequentialPIC
+from repro.pic.checkpoint import load_checkpoint, save_checkpoint
+
+
+class TestRoundtrip:
+    def test_sequential_state_roundtrip(self, tmp_path, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        sim.run(7)
+        path = save_checkpoint(tmp_path / "ck", grid, sim.fields, [sim.particles], 7)
+        data = load_checkpoint(path)
+        assert data.iteration == 7
+        assert data.grid.nx == grid.nx and data.grid.lx == grid.lx
+        assert data.fields.allclose(sim.fields)
+        assert np.array_equal(data.particles[0].ids, sim.particles.ids)
+        assert np.allclose(data.particles[0].x, sim.particles.x)
+
+    def test_per_rank_sets_preserved(self, tmp_path, grid, uniform_particles):
+        local = ParticlePartitioner(grid).initial_partition(uniform_particles, 4)
+        from repro.mesh import FieldState
+
+        fields = FieldState.zeros(grid)
+        path = save_checkpoint(tmp_path / "ranks", grid, fields, local, 0)
+        data = load_checkpoint(path)
+        assert data.nranks == 4
+        for a, b in zip(local, data.particles):
+            assert a.n == b.n
+            assert np.array_equal(a.ids, b.ids)
+
+    def test_suffix_added(self, tmp_path, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        path = save_checkpoint(tmp_path / "plain", grid, sim.fields, [sim.particles], 0)
+        assert path.suffix == ".npz"
+        assert load_checkpoint(tmp_path / "plain").iteration == 0
+
+
+class TestExactRestart:
+    def test_parallel_resume_is_bitexact(self, tmp_path):
+        """Run 10 iterations; checkpoint at 5 and resume: identical state."""
+        grid = Grid2D(16, 16)
+        particles = uniform_plasma(grid, 1024, rng=3)
+
+        def build(local):
+            vm = VirtualMachine(4, MachineModel.cm5())
+            decomp = CurveBlockDecomposition(grid, 4, "hilbert")
+            return ParallelPIC(vm, grid, decomp, local)
+
+        local = ParticlePartitioner(grid).initial_partition(particles, 4)
+        reference = build([p.copy() for p in local])
+        for _ in range(10):
+            reference.step()
+
+        first = build([p.copy() for p in local])
+        for _ in range(5):
+            first.step()
+        path = save_checkpoint(tmp_path / "mid", grid, first.fields, first.particles, 5)
+
+        data = load_checkpoint(path)
+        resumed = build(data.particles)
+        resumed.fields = data.fields
+        for _ in range(5):
+            resumed.step()
+
+        ref_parts = reference.all_particles()
+        res_parts = resumed.all_particles()
+        order_a = np.argsort(ref_parts.ids)
+        order_b = np.argsort(res_parts.ids)
+        assert np.array_equal(ref_parts.x[order_a], res_parts.x[order_b])
+        assert np.array_equal(ref_parts.ux[order_a], res_parts.ux[order_b])
+        assert np.array_equal(reference.fields.ez, resumed.fields.ez)
+
+
+class TestValidation:
+    def test_negative_iteration_rejected(self, tmp_path, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path / "x", grid, sim.fields, [sim.particles], -1)
+
+    def test_empty_particle_list_rejected(self, tmp_path, grid):
+        from repro.mesh import FieldState
+
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path / "x", grid, FieldState.zeros(grid), [], 0)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nothere.npz")

@@ -1,0 +1,98 @@
+"""Tests for the scatter phase (CIC deposition)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Grid2D
+from repro.particles import ParticleArray, uniform_plasma
+from repro.pic.deposition import accumulate_entries, deposit_charge_current, deposition_entries
+
+
+def single_particle(grid, x, y, ux=0.0, uy=0.0, uz=0.0, q=-1.0, w=1.0):
+    return ParticleArray(
+        x=np.array([x]), y=np.array([y]),
+        ux=np.array([ux]), uy=np.array([uy]), uz=np.array([uz]),
+        q=np.array([q]), m=np.array([1.0]), w=np.array([w]),
+        ids=np.array([0], dtype=np.int64),
+    )
+
+
+class TestDepositionEntries:
+    def test_shapes(self, grid, uniform_particles):
+        nodes, values = deposition_entries(grid, uniform_particles)
+        n = uniform_particles.n
+        assert nodes.shape == (n, 4)
+        assert values.shape == (4, n, 4)
+
+    def test_charge_channel_sums_to_particle_charge(self, grid):
+        parts = single_particle(grid, 3.3, 2.7, w=2.0)
+        _, values = deposition_entries(grid, parts)
+        assert values[0].sum() == pytest.approx(-2.0)  # w * q
+
+    def test_current_uses_velocity_not_momentum(self, grid):
+        # ux = 3 => gamma ~ sqrt(10), vx = 3/sqrt(10)
+        parts = single_particle(grid, 1.5, 1.5, ux=3.0)
+        _, values = deposition_entries(grid, parts)
+        vx = 3.0 / np.sqrt(10.0)
+        assert values[1].sum() == pytest.approx(-vx)
+
+    def test_zero_velocity_no_current(self, grid):
+        parts = single_particle(grid, 1.2, 3.4)
+        _, values = deposition_entries(grid, parts)
+        assert np.all(values[1:] == 0)
+
+
+class TestAccumulate:
+    def test_duplicate_nodes_summed(self):
+        nodes = np.array([2, 2, 5])
+        values = np.ones((4, 3))
+        acc = accumulate_entries(8, nodes, values)
+        assert acc[0, 2] == 2.0 and acc[0, 5] == 1.0
+
+    def test_total_preserved(self, grid, uniform_particles):
+        nodes, values = deposition_entries(grid, uniform_particles)
+        acc = accumulate_entries(grid.nnodes, nodes, values)
+        assert acc[0].sum() == pytest.approx(values[0].sum())
+
+
+class TestDeposit:
+    def test_total_charge_conserved(self, grid, uniform_particles):
+        rho, _, _, _ = deposit_charge_current(grid, uniform_particles)
+        total = rho.sum() * grid.dx * grid.dy
+        expected = (uniform_particles.w * uniform_particles.q).sum()
+        assert total == pytest.approx(expected)
+
+    def test_particle_on_node_deposits_to_single_node(self, grid):
+        parts = single_particle(grid, 5.0, 3.0)
+        rho, _, _, _ = deposit_charge_current(grid, parts)
+        assert rho[3, 5] == pytest.approx(-1.0 / (grid.dx * grid.dy))
+        assert np.count_nonzero(rho) == 1
+
+    def test_cell_center_spreads_equally(self, grid):
+        parts = single_particle(grid, 5.5, 3.5)
+        rho, _, _, _ = deposit_charge_current(grid, parts)
+        for iy, ix in [(3, 5), (3, 6), (4, 5), (4, 6)]:
+            assert rho[iy, ix] == pytest.approx(-0.25 / (grid.dx * grid.dy))
+
+    def test_periodic_wrap_deposition(self, grid):
+        parts = single_particle(grid, grid.lx - 0.5, grid.ly - 0.5)
+        rho, _, _, _ = deposit_charge_current(grid, parts)
+        # corners wrap: nodes (ny-1, nx-1), (ny-1, 0), (0, nx-1), (0, 0)
+        assert rho[0, 0] != 0 and rho[grid.ny - 1, grid.nx - 1] != 0
+
+    def test_uniform_plasma_rho_near_constant(self):
+        grid = Grid2D(16, 16)
+        parts = uniform_plasma(grid, 16 * 16 * 64, density=1.0, rng=0)
+        rho, _, _, _ = deposit_charge_current(grid, parts)
+        assert abs(rho.mean() + 1.0) < 0.01  # density ~ -1 (electrons)
+        assert rho.std() < 0.3
+
+    def test_density_independent_of_particle_count(self):
+        grid = Grid2D(8, 8)
+        rho_a, _, _, _ = deposit_charge_current(grid, uniform_plasma(grid, 4096, rng=1))
+        rho_b, _, _, _ = deposit_charge_current(grid, uniform_plasma(grid, 16384, rng=1))
+        assert rho_a.mean() == pytest.approx(rho_b.mean(), rel=0.05)
+
+    def test_empty_particles(self, grid):
+        rho, jx, jy, jz = deposit_charge_current(grid, ParticleArray.empty(0))
+        assert rho.sum() == 0 and jx.sum() == 0

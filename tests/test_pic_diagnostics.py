@@ -1,0 +1,87 @@
+"""Tests for the conservation-diagnostics recorder."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Grid2D
+from repro.particles import uniform_plasma
+from repro.pic import SequentialPIC
+from repro.pic.diagnostics import DiagnosticsRecorder
+
+
+@pytest.fixture
+def run_with_recorder():
+    grid = Grid2D(16, 16)
+    parts = uniform_plasma(grid, 1024, rng=0)
+    sim = SequentialPIC(grid, parts)
+    rec = DiagnosticsRecorder(grid)
+    for it in range(20):
+        sim.step()
+        rec.record(it, sim.fields, sim.particles)
+    return sim, rec
+
+
+class TestRecording:
+    def test_sample_count(self, run_with_recorder):
+        _, rec = run_with_recorder
+        assert len(rec.samples) == 20
+
+    def test_every_cadence(self):
+        grid = Grid2D(8, 8)
+        parts = uniform_plasma(grid, 64, rng=1)
+        sim = SequentialPIC(grid, parts)
+        rec = DiagnosticsRecorder(grid, every=5)
+        for it in range(20):
+            sim.step()
+            rec.record(it, sim.fields, sim.particles)
+        assert len(rec.samples) == 4
+        assert [s.iteration for s in rec.samples] == [0, 5, 10, 15]
+
+    def test_every_validated(self, grid):
+        with pytest.raises(ValueError):
+            DiagnosticsRecorder(grid, every=0)
+
+
+class TestSeries:
+    def test_scalar_series_shape(self, run_with_recorder):
+        _, rec = run_with_recorder
+        assert rec.series("field_energy").shape == (20,)
+        assert rec.series("total_energy").shape == (20,)
+
+    def test_momentum_series_shape(self, run_with_recorder):
+        _, rec = run_with_recorder
+        assert rec.series("momentum").shape == (20, 3)
+
+    def test_unknown_name(self, run_with_recorder):
+        _, rec = run_with_recorder
+        with pytest.raises(KeyError):
+            rec.series("entropy")
+
+    def test_empty_recorder_raises(self, grid):
+        with pytest.raises(ValueError, match="no samples"):
+            DiagnosticsRecorder(grid).series("field_energy")
+
+
+class TestConservation:
+    def test_charge_exactly_conserved(self, run_with_recorder):
+        _, rec = run_with_recorder
+        assert rec.charge_drift() < 1e-12
+
+    def test_energy_drift_small_for_quiet_plasma(self, run_with_recorder):
+        _, rec = run_with_recorder
+        assert abs(rec.energy_drift()) < 0.5
+
+    def test_gauss_residual_bounded(self, run_with_recorder):
+        _, rec = run_with_recorder
+        assert rec.series("gauss_residual").max() < 1.0
+
+    def test_summary_keys(self, run_with_recorder):
+        _, rec = run_with_recorder
+        summary = rec.summary()
+        assert set(summary) == {
+            "samples",
+            "energy_drift",
+            "charge_drift",
+            "max_gauss_residual",
+        }
+        assert summary["samples"] == 20

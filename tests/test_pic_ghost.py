@@ -1,0 +1,114 @@
+"""Tests for ghost-grid-point tables (duplicate-access removal)."""
+
+import numpy as np
+import pytest
+
+from repro.pic.ghost import DirectAddressTable, HashGhostTable, make_ghost_table
+
+
+def entries(seed=0, k=100, nnodes=64, nchannels=4):
+    rng = np.random.default_rng(seed)
+    nodes = rng.integers(0, nnodes, k)
+    values = rng.normal(size=(nchannels, k))
+    return nodes, values
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_ghost_table("direct", 16), DirectAddressTable)
+        assert isinstance(make_ghost_table("hash", 16), HashGhostTable)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown ghost table"):
+            make_ghost_table("btree", 16)
+
+
+@pytest.mark.parametrize("kind", ["direct", "hash"])
+class TestSemantics:
+    def test_duplicates_summed(self, kind):
+        table = make_ghost_table(kind, 8, nchannels=1)
+        table.accumulate(np.array([3, 3, 5]), np.array([[1.0, 2.0, 4.0]]))
+        uniq, summed = table.flush()
+        assert uniq.tolist() == [3, 5]
+        assert summed[0].tolist() == [3.0, 4.0]
+
+    def test_unique_nodes_sorted(self, kind):
+        table = make_ghost_table(kind, 64)
+        nodes, values = entries(seed=1)
+        table.accumulate(nodes, values)
+        uniq, _ = table.flush()
+        assert np.all(np.diff(uniq) > 0)
+
+    def test_flush_resets(self, kind):
+        table = make_ghost_table(kind, 8, nchannels=1)
+        table.accumulate(np.array([2]), np.array([[1.0]]))
+        table.flush()
+        uniq, summed = table.flush()
+        assert uniq.size == 0 and summed.shape == (1, 0)
+
+    def test_multiple_accumulate_calls(self, kind):
+        table = make_ghost_table(kind, 8, nchannels=1)
+        table.accumulate(np.array([1]), np.array([[1.0]]))
+        table.accumulate(np.array([1, 2]), np.array([[2.0, 5.0]]))
+        uniq, summed = table.flush()
+        assert uniq.tolist() == [1, 2]
+        assert summed[0].tolist() == [3.0, 5.0]
+
+    def test_empty_accumulate(self, kind):
+        table = make_ghost_table(kind, 8)
+        table.accumulate(np.empty(0, dtype=np.int64), np.empty((4, 0)))
+        uniq, _ = table.flush()
+        assert uniq.size == 0
+
+    def test_out_of_range_node(self, kind):
+        table = make_ghost_table(kind, 8, nchannels=1)
+        with pytest.raises(ValueError, match="out of range"):
+            table.accumulate(np.array([8]), np.array([[1.0]]))
+
+    def test_value_shape_checked(self, kind):
+        table = make_ghost_table(kind, 8, nchannels=4)
+        with pytest.raises(ValueError):
+            table.accumulate(np.array([1]), np.array([[1.0]]))
+
+    def test_stats_entries(self, kind):
+        table = make_ghost_table(kind, 64)
+        nodes, values = entries(k=50)
+        table.accumulate(nodes, values)
+        table.flush()
+        assert table.stats.entries == 50
+        assert table.stats.unique_nodes == np.unique(nodes).size
+
+
+class TestEquivalence:
+    def test_hash_and_direct_agree(self):
+        nodes, values = entries(seed=3, k=500, nnodes=128)
+        direct = DirectAddressTable(128)
+        hashed = HashGhostTable(128)
+        direct.accumulate(nodes, values)
+        hashed.accumulate(nodes, values)
+        du, dv = direct.flush()
+        hu, hv = hashed.flush()
+        assert np.array_equal(du, hu)
+        assert np.allclose(dv, hv)
+
+
+class TestCostTradeoffs:
+    def test_direct_memory_proportional_to_mesh(self):
+        small = DirectAddressTable(100)
+        large = DirectAddressTable(10000)
+        assert large.stats.memory_slots == 100 * small.stats.memory_slots
+
+    def test_hash_memory_proportional_to_unique(self):
+        table = HashGhostTable(10**6)
+        nodes = np.arange(10)
+        table.accumulate(nodes, np.zeros((4, 10)))
+        table.flush()
+        assert table.stats.memory_slots < 1000  # nowhere near the mesh size
+
+    def test_direct_fewer_ops_per_entry(self):
+        nodes, values = entries(k=100, nnodes=64)
+        direct = DirectAddressTable(64)
+        hashed = HashGhostTable(64)
+        direct.accumulate(nodes, values)
+        hashed.accumulate(nodes, values)
+        assert direct.stats.ops < hashed.stats.ops

@@ -1,0 +1,77 @@
+"""Tests for the gather phase (CIC field interpolation)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import FieldState, Grid2D
+from repro.particles import ParticleArray, uniform_plasma
+from repro.pic.interpolation import gather_from_node_values, interpolate_fields
+
+
+def particle_at(x, y):
+    parts = ParticleArray.empty(1)
+    parts.x[:] = x
+    parts.y[:] = y
+    return parts
+
+
+class TestGatherFromNodeValues:
+    def test_shape(self):
+        node_values = np.arange(24.0).reshape(2, 12)
+        nodes = np.array([[0, 1, 2, 3], [4, 5, 6, 7]])
+        weights = np.full((2, 4), 0.25)
+        out = gather_from_node_values(node_values, nodes, weights)
+        assert out.shape == (2, 2)
+
+    def test_weighted_average(self):
+        node_values = np.array([[10.0, 20.0, 30.0, 40.0]])
+        nodes = np.array([[0, 1, 2, 3]])
+        weights = np.array([[0.1, 0.2, 0.3, 0.4]])
+        out = gather_from_node_values(node_values, nodes, weights)
+        assert out[0, 0] == pytest.approx(1 + 4 + 9 + 16)
+
+
+class TestInterpolateFields:
+    def test_uniform_field_exact(self, grid):
+        fields = FieldState.zeros(grid)
+        fields.ez[:] = 3.5
+        parts = uniform_plasma(grid, 100, rng=0)
+        e, b = interpolate_fields(grid, fields, parts)
+        assert np.allclose(e[2], 3.5)
+        assert np.allclose(b, 0.0)
+
+    def test_particle_on_node_reads_node_value(self, grid):
+        fields = FieldState.zeros(grid)
+        fields.ex[3, 5] = 7.0
+        e, _ = interpolate_fields(grid, fields, particle_at(5.0, 3.0))
+        assert e[0, 0] == pytest.approx(7.0)
+
+    def test_linear_field_interpolated_exactly(self):
+        """CIC reproduces linear variation exactly between nodes."""
+        grid = Grid2D(8, 8)
+        fields = FieldState.zeros(grid)
+        xs = np.arange(8)
+        fields.ey[:] = xs[None, :]  # Ey = ix
+        e, _ = interpolate_fields(grid, fields, particle_at(2.25, 4.0))
+        assert e[1, 0] == pytest.approx(2.25)
+
+    def test_gather_is_adjoint_of_scatter(self, grid):
+        """<scatter(p), f> == <charge(p), gather(f)> — the CIC pair is
+        adjoint, which is what makes the PIC force self-consistent."""
+        from repro.pic.deposition import deposition_entries, accumulate_entries
+
+        rng = np.random.default_rng(3)
+        parts = uniform_plasma(grid, 50, rng=4)
+        field = rng.random(grid.nnodes)
+        nodes, values = deposition_entries(grid, parts)
+        acc = accumulate_entries(grid.nnodes, nodes, values)
+        lhs = (acc[0] * field).sum()
+        nodes2, weights = grid.cic_vertices_weights(parts.x, parts.y)
+        gathered = gather_from_node_values(field[None, :], nodes2, weights)[0]
+        rhs = (gathered * parts.w * parts.q).sum()
+        assert lhs == pytest.approx(rhs)
+
+    def test_empty_particles(self, grid):
+        fields = FieldState.zeros(grid)
+        e, b = interpolate_fields(grid, fields, ParticleArray.empty(0))
+        assert e.shape == (3, 0) and b.shape == (3, 0)

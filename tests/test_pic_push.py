@@ -1,0 +1,139 @@
+"""Tests for the relativistic Boris pusher."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Grid2D
+from repro.particles import ParticleArray
+from repro.pic.push import boris_push
+
+
+@pytest.fixture
+def grid():
+    return Grid2D(64, 64, lx=64.0, ly=64.0)
+
+
+def one_particle(x=32.0, y=32.0, ux=0.0, uy=0.0, uz=0.0, q=-1.0):
+    parts = ParticleArray.empty(1)
+    parts.x[:] = x
+    parts.y[:] = y
+    parts.ux[:] = ux
+    parts.uy[:] = uy
+    parts.uz[:] = uz
+    parts.q[:] = q
+    parts.m[:] = 1.0
+    parts.w[:] = 1.0
+    return parts
+
+
+def fields(n, e=(0, 0, 0), b=(0, 0, 0)):
+    ef = np.zeros((3, n))
+    bf = np.zeros((3, n))
+    for i in range(3):
+        ef[i] = e[i]
+        bf[i] = b[i]
+    return ef, bf
+
+
+class TestFreeStreaming:
+    def test_no_field_straight_line(self, grid):
+        parts = one_particle(ux=0.3)
+        e, b = fields(1)
+        boris_push(grid, parts, e, b, dt=1.0)
+        gamma = np.sqrt(1 + 0.09)
+        assert parts.x[0] == pytest.approx(32.0 + 0.3 / gamma)
+        assert parts.ux[0] == pytest.approx(0.3)
+
+    def test_periodic_wrap(self, grid):
+        parts = one_particle(x=63.9, ux=10.0)
+        e, b = fields(1)
+        boris_push(grid, parts, e, b, dt=1.0)
+        assert 0 <= parts.x[0] < 64.0
+
+
+class TestElectricAcceleration:
+    def test_nonrelativistic_kick(self, grid):
+        parts = one_particle(q=-1.0)
+        e, b = fields(1, e=(0.001, 0, 0))
+        boris_push(grid, parts, e, b, dt=1.0)
+        # du = q E dt = -0.001
+        assert parts.ux[0] == pytest.approx(-0.001, rel=1e-6)
+
+    def test_charge_sign(self, grid):
+        neg = one_particle(q=-1.0)
+        pos = one_particle(q=1.0)
+        e, b = fields(1, e=(0.01, 0, 0))
+        boris_push(grid, neg, e, b, dt=0.5)
+        boris_push(grid, pos, e, b, dt=0.5)
+        assert neg.ux[0] == pytest.approx(-pos.ux[0])
+
+
+class TestMagneticRotation:
+    def test_energy_conserved_in_pure_b(self, grid):
+        """The Boris rotation preserves |u| exactly in a pure magnetic
+        field — the scheme's defining property."""
+        parts = one_particle(ux=0.5, uy=0.2)
+        u0 = np.sqrt(parts.ux[0] ** 2 + parts.uy[0] ** 2 + parts.uz[0] ** 2)
+        e, b = fields(1, b=(0, 0, 0.3))
+        for _ in range(100):
+            boris_push(grid, parts, e, b, dt=0.5)
+        u1 = np.sqrt(parts.ux[0] ** 2 + parts.uy[0] ** 2 + parts.uz[0] ** 2)
+        assert u1 == pytest.approx(u0, rel=1e-12)
+
+    def test_larmor_rotation_direction(self, grid):
+        # electron (q=-1) in Bz > 0: u rotates counterclockwise
+        parts = one_particle(ux=0.1)
+        e, b = fields(1, b=(0, 0, 1.0))
+        boris_push(grid, parts, e, b, dt=0.01)
+        assert parts.uy[0] > 0
+
+    def test_gyration_period(self, grid):
+        """Small-angle steps should complete a cyclotron orbit in
+        2*pi*gamma/|q|B steps of dt."""
+        parts = one_particle(ux=0.01)
+        e, b = fields(1, b=(0, 0, 1.0))
+        dt = 0.01
+        gamma = float(parts.gamma()[0])
+        steps = int(round(2 * np.pi * gamma / dt))
+        for _ in range(steps):
+            boris_push(grid, parts, e, b, dt=dt)
+        assert parts.ux[0] == pytest.approx(0.01, rel=1e-3)
+        assert abs(parts.uy[0]) < 1e-4
+
+
+class TestExBDrift:
+    def test_drift_velocity(self, grid):
+        """Crossed E and B give the classic E x B drift regardless of
+        charge sign."""
+        parts = one_particle()
+        e, b = fields(1, e=(0, 0.01, 0), b=(0, 0, 1.0))
+        xs = []
+        for _ in range(2000):
+            boris_push(grid, parts, e, b, dt=0.05)
+            xs.append(parts.x[0])
+        # E x B / B^2 = (Ey * Bz, ...)/Bz^2 -> vx = 0.01
+        drift = (np.unwrap(np.array(xs) * 2 * np.pi / 64.0) * 64.0 / (2 * np.pi))
+        vx = (drift[-1] - drift[0]) / (0.05 * 1999)
+        assert vx == pytest.approx(0.01, rel=0.05)
+
+
+class TestValidation:
+    def test_dt_positive(self, grid):
+        parts = one_particle()
+        e, b = fields(1)
+        with pytest.raises(ValueError):
+            boris_push(grid, parts, e, b, dt=0.0)
+
+    def test_shape_check(self, grid):
+        parts = one_particle()
+        with pytest.raises(ValueError, match="must be"):
+            boris_push(grid, parts, np.zeros((3, 2)), np.zeros((3, 1)), dt=0.1)
+
+    def test_relativistic_speed_limit(self, grid):
+        """However hard the kick, |v| stays below c = 1."""
+        parts = one_particle()
+        e, b = fields(1, e=(100.0, 0, 0))
+        for _ in range(50):
+            boris_push(grid, parts, e, b, dt=0.1)
+        v = abs(parts.ux[0]) / parts.gamma()[0]
+        assert v < 1.0

@@ -1,0 +1,102 @@
+"""Tests for the sequential reference PIC."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Grid2D
+from repro.particles import two_stream, uniform_plasma
+from repro.pic import SequentialPIC
+
+
+class TestConstruction:
+    def test_default_dt_under_cfl(self, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        assert sim.dt <= sim.solver.cfl_limit()
+
+    def test_explicit_dt_validated(self, grid, uniform_particles):
+        with pytest.raises(ValueError, match="CFL"):
+            SequentialPIC(grid, uniform_particles, dt=10.0)
+
+
+class TestStep:
+    def test_iteration_counter(self, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        sim.run(5)
+        assert sim.iteration == 5
+
+    def test_negative_iterations_rejected(self, grid, uniform_particles):
+        with pytest.raises(ValueError):
+            SequentialPIC(grid, uniform_particles).run(-1)
+
+    def test_charge_conserved_every_step(self, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        for _ in range(10):
+            sim.step()
+            assert sim.charge_conservation_error() < 1e-12
+
+    def test_particles_move(self, grid):
+        parts = uniform_plasma(grid, 256, vth=0.1, rng=0)
+        sim = SequentialPIC(grid, parts)
+        x0 = sim.particles.x.copy()
+        sim.run(5)
+        assert not np.allclose(sim.particles.x, x0)
+
+    def test_positions_stay_in_domain(self, grid):
+        parts = uniform_plasma(grid, 256, vth=0.2, rng=1)
+        sim = SequentialPIC(grid, parts)
+        sim.run(20)
+        assert sim.particles.x.min() >= 0 and sim.particles.x.max() < grid.lx
+        assert sim.particles.y.min() >= 0 and sim.particles.y.max() < grid.ly
+
+    def test_deterministic(self, grid):
+        a = SequentialPIC(grid, uniform_plasma(grid, 128, rng=5))
+        b = SequentialPIC(grid, uniform_plasma(grid, 128, rng=5))
+        a.run(10)
+        b.run(10)
+        assert np.array_equal(a.particles.x, b.particles.x)
+        assert np.array_equal(a.fields.ez, b.fields.ez)
+
+
+class TestPhysics:
+    def test_energy_drift_bounded(self):
+        """Total (field + kinetic) energy of a quiet, Debye-resolved
+        plasma must stay within a factor 2 over a few hundred steps
+        (source smoothing + Marder cleaning keep self-heating small)."""
+        grid = Grid2D(32, 32)
+        parts = uniform_plasma(grid, 32 * 32 * 8, vth=0.02, rng=2)
+        sim = SequentialPIC(grid, parts)
+        e0 = sim.total_energy()
+        sim.run(200)
+        e1 = sim.total_energy()
+        assert e1 < 2 * e0
+
+    def test_gauss_law_maintained(self):
+        """Marder cleaning keeps div E - rho small relative to rho."""
+        grid = Grid2D(32, 32)
+        parts = uniform_plasma(grid, 32 * 32 * 8, vth=0.05, density=1.0, rng=6)
+        sim = SequentialPIC(grid, parts)
+        sim.run(100)
+        residual = np.abs(sim.solver.gauss_residual(sim.fields)).max()
+        assert residual < 0.5 * np.abs(sim.fields.rho).max()
+
+    def test_momentum_roughly_conserved(self):
+        grid = Grid2D(16, 16)
+        parts = uniform_plasma(grid, 4096, vth=0.05, rng=3)
+        sim = SequentialPIC(grid, parts)
+        p0 = sim.particles.momentum()
+        sim.run(100)
+        p1 = sim.particles.momentum()
+        scale = (sim.particles.w * sim.particles.m * 0.05).sum()
+        assert np.abs(p1 - p0).max() < 0.05 * scale
+
+    def test_two_stream_instability_grows_field_energy(self):
+        """The two-stream setup must pump kinetic energy into the fields —
+        a canonical end-to-end PIC correctness check."""
+        grid = Grid2D(64, 8, lx=64.0, ly=8.0)
+        parts = two_stream(grid, 64 * 8 * 32, vdrift=0.2, vth=0.005, density=1.0, rng=4)
+        sim = SequentialPIC(grid, parts, dt=0.5)
+        sim.step()
+        early = sim.fields.field_energy(grid)
+        sim.run(300)
+        late = sim.fields.field_energy(grid)
+        assert late > 10 * early

@@ -1,0 +1,226 @@
+"""Tests for the high-level Simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicSARPolicy
+from repro.pic import Simulation, SimulationConfig
+
+
+def small_config(**kwargs):
+    defaults = dict(nx=16, ny=16, nparticles=1024, p=4, seed=0)
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SimulationConfig()
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="distribution"):
+            small_config(distribution="fractal")
+
+    def test_unknown_partitioning(self):
+        with pytest.raises(ValueError, match="partitioning"):
+            small_config(partitioning="diagonal")
+
+    def test_too_few_particles(self):
+        with pytest.raises(ValueError, match="one particle per rank"):
+            small_config(nparticles=2, p=4)
+
+
+class TestRun:
+    def test_records_per_iteration(self):
+        sim = Simulation(small_config())
+        result = sim.run(10)
+        assert len(result.records) == 10
+        assert result.iteration_times.shape == (10,)
+        assert np.all(result.iteration_times > 0)
+
+    def test_total_time_is_sum_plus_redistribution(self):
+        sim = Simulation(small_config(policy="periodic:3"))
+        result = sim.run(9)
+        reconstructed = result.iteration_times.sum() + result.redistribution_time
+        assert result.total_time == pytest.approx(reconstructed, rel=1e-9)
+
+    def test_overhead_nonnegative(self):
+        result = Simulation(small_config()).run(5)
+        assert result.overhead >= 0
+        assert result.computation_time > 0
+
+    def test_zero_iterations(self):
+        result = Simulation(small_config()).run(0)
+        assert result.records == [] and result.total_time == 0.0
+
+    def test_deterministic(self):
+        a = Simulation(small_config(distribution="irregular")).run(10)
+        b = Simulation(small_config(distribution="irregular")).run(10)
+        assert np.array_equal(a.iteration_times, b.iteration_times)
+        assert np.array_equal(a.scatter_max_bytes, b.scatter_max_bytes)
+
+    def test_setup_excluded_from_total(self):
+        sim = Simulation(small_config())
+        assert sim.vm.elapsed() == 0.0  # clock reset after setup distribution
+        assert sim._setup_cost > 0
+
+
+class TestPolicyIntegration:
+    def test_static_never_redistributes(self):
+        result = Simulation(small_config(policy="static")).run(20)
+        assert result.n_redistributions == 0
+
+    def test_periodic_counts(self):
+        result = Simulation(small_config(policy="periodic:5")).run(20)
+        assert result.n_redistributions == 4
+        fired = [r.iteration for r in result.records if r.redistributed]
+        assert fired == [4, 9, 14, 19]
+
+    def test_dynamic_seeded_with_setup_cost(self):
+        sim = Simulation(small_config(policy="dynamic"))
+        assert isinstance(sim.policy, DynamicSARPolicy)
+        assert sim.policy.redistribution_cost == pytest.approx(sim._setup_cost)
+
+    def test_dynamic_redistributes_under_drift(self):
+        cfg = small_config(
+            policy="dynamic", distribution="irregular", nparticles=4096, vth=0.3
+        )
+        result = Simulation(cfg).run(60)
+        assert result.n_redistributions >= 1
+
+    def test_redistribution_cost_recorded(self):
+        result = Simulation(small_config(policy="periodic:4")).run(8)
+        fired = [r for r in result.records if r.redistributed]
+        assert all(r.redistribution_cost > 0 for r in fired)
+
+    def test_eulerian_ignores_policy(self):
+        cfg = small_config(policy="periodic:2", movement="eulerian", partitioning="grid")
+        result = Simulation(cfg).run(6)
+        assert result.n_redistributions == 0
+
+
+class TestPartitioningStrategies:
+    def test_grid_partitioning_unbalanced_particles(self):
+        cfg = small_config(
+            partitioning="grid",
+            movement="eulerian",
+            distribution="irregular",
+            nx=32,
+            ny=32,
+            p=16,
+            nparticles=8192,
+        )
+        sim = Simulation(cfg)
+        counts = np.array([p.n for p in sim.pic.particles])
+        assert counts.max() > 2 * counts.mean()
+
+    def test_particle_partitioning_unbalanced_cells(self):
+        cfg = small_config(
+            partitioning="particle",
+            distribution="irregular",
+            nx=32,
+            ny=32,
+            p=16,
+            nparticles=8192,
+        )
+        sim = Simulation(cfg)
+        cell_counts = sim.decomp.cell_counts()
+        assert cell_counts.max() > 2 * cell_counts.mean()
+        particle_counts = np.array([p.n for p in sim.pic.particles])
+        assert particle_counts.max() - particle_counts.min() <= 1
+
+    def test_independent_both_balanced(self):
+        cfg = small_config(partitioning="independent", distribution="irregular")
+        sim = Simulation(cfg)
+        assert sim.decomp.max_cell_imbalance() < 1.05
+        counts = np.array([p.n for p in sim.pic.particles])
+        assert counts.max() - counts.min() <= 1
+
+
+class TestAdaptivePartitioning:
+    def test_requires_eulerian(self):
+        with pytest.raises(ValueError, match="eulerian"):
+            small_config(partitioning="adaptive", movement="lagrangian")
+
+    def test_rebalances_under_policy(self):
+        cfg = small_config(
+            partitioning="adaptive",
+            movement="eulerian",
+            distribution="irregular",
+            policy="periodic:4",
+            nparticles=2048,
+        )
+        result = Simulation(cfg).run(12)
+        assert result.n_redistributions == 3
+        assert all(r.redistribution_cost > 0 for r in result.records if r.redistributed)
+
+    def test_keeps_particle_balance(self):
+        cfg = small_config(
+            partitioning="adaptive",
+            movement="eulerian",
+            distribution="irregular",
+            policy="periodic:5",
+            nx=32,
+            ny=32,
+            p=8,
+            nparticles=8192,
+        )
+        sim = Simulation(cfg)
+        sim.run(20)
+        counts = np.array([p.n for p in sim.pic.particles], dtype=float)
+        assert counts.max() / counts.mean() < 2.0
+
+
+class TestModernKernel:
+    def test_runs_with_policies(self):
+        cfg = small_config(kernel="modern", policy="periodic:3", distribution="irregular")
+        result = Simulation(cfg).run(9)
+        assert result.n_redistributions == 3
+        assert result.total_time > 0
+
+    def test_gauss_preserved_across_redistributions(self):
+        cfg = small_config(
+            kernel="modern", policy="periodic:3", distribution="irregular", nparticles=2048
+        )
+        sim = Simulation(cfg)
+        sim.run(9)
+        assert sim.pic.gauss_error() < 1e-11
+
+    def test_modern_rejects_eulerian(self):
+        with pytest.raises(ValueError, match="modern kernel"):
+            small_config(kernel="modern", movement="eulerian")
+
+    def test_modern_rejects_electrostatic(self):
+        with pytest.raises(ValueError, match="its own"):
+            small_config(kernel="modern", field_solver="electrostatic")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            small_config(kernel="quantum")
+
+
+class TestSeriesShapes:
+    def test_static_iteration_time_rises_for_irregular(self):
+        cfg = small_config(
+            distribution="irregular", nparticles=4096, p=8, nx=32, ny=32, vth=0.2
+        )
+        result = Simulation(cfg).run(40)
+        times = result.iteration_times
+        assert times[-5:].mean() > times[:5].mean()
+
+    def test_redistribution_resets_traffic(self):
+        cfg = small_config(
+            distribution="irregular",
+            nparticles=4096,
+            p=8,
+            nx=32,
+            ny=32,
+            vth=0.2,
+            policy="periodic:15",
+        )
+        result = Simulation(cfg).run(45)
+        volumes = result.scatter_max_bytes.astype(float)
+        # traffic right after each redistribution is lower than right before
+        for r in result.records:
+            if r.redistributed and r.iteration + 1 < len(volumes):
+                assert volumes[r.iteration + 1] <= volumes[r.iteration]

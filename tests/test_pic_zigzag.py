@@ -1,0 +1,137 @@
+"""Tests for the charge-conserving (zigzag) current deposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Grid2D
+from repro.particles import ParticleArray
+from repro.pic.deposition import deposit_charge_current
+from repro.pic.zigzag import continuity_residual, deposit_current_zigzag
+
+
+@pytest.fixture
+def grid():
+    return Grid2D(8, 8)
+
+
+def cic_rho(grid, x, y, q):
+    parts = ParticleArray.empty(x.shape[0])
+    parts.x[:] = x
+    parts.y[:] = y
+    parts.q[:] = q
+    parts.w[:] = 1.0
+    rho, _, _, _ = deposit_charge_current(grid, parts)
+    return rho
+
+
+class TestContinuity:
+    def test_exact_for_random_moves(self, grid):
+        rng = np.random.default_rng(0)
+        n = 100
+        x1 = rng.uniform(0, 8, n)
+        y1 = rng.uniform(0, 8, n)
+        x2 = np.mod(x1 + rng.uniform(-0.9, 0.9, n), 8.0)
+        y2 = np.mod(y1 + rng.uniform(-0.9, 0.9, n), 8.0)
+        q = rng.uniform(-2, 2, n)
+        jx, jy = deposit_current_zigzag(grid, x1, y1, x2, y2, q, dt=0.5)
+        res = continuity_residual(
+            grid, cic_rho(grid, x1, y1, q), cic_rho(grid, x2, y2, q), jx, jy, 0.5
+        )
+        assert np.abs(res).max() < 1e-12
+
+    def test_exact_across_periodic_boundary(self, grid):
+        x1 = np.array([7.9])
+        y1 = np.array([0.05])
+        x2 = np.array([0.2])  # wraps in x
+        y2 = np.array([7.9])  # wraps in y
+        q = np.array([1.0])
+        jx, jy = deposit_current_zigzag(grid, x1, y1, x2, y2, q, dt=1.0)
+        res = continuity_residual(
+            grid, cic_rho(grid, x1, y1, q), cic_rho(grid, x2, y2, q), jx, jy, 1.0
+        )
+        assert np.abs(res).max() < 1e-12
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_continuity_property(self, data):
+        grid = Grid2D(
+            data.draw(st.sampled_from([4, 8, 12])),
+            data.draw(st.sampled_from([4, 8, 12])),
+        )
+        n = data.draw(st.integers(1, 30))
+        floats = st.floats(0.0, 1.0, allow_nan=False)
+        x1 = np.array(data.draw(st.lists(floats, min_size=n, max_size=n))) * grid.lx
+        y1 = np.array(data.draw(st.lists(floats, min_size=n, max_size=n))) * grid.ly
+        mv = st.floats(-0.99, 0.99, allow_nan=False)
+        dx = np.array(data.draw(st.lists(mv, min_size=n, max_size=n))) * grid.dx
+        dy = np.array(data.draw(st.lists(mv, min_size=n, max_size=n))) * grid.dy
+        x2 = np.mod(x1 + dx, grid.lx)
+        y2 = np.mod(y1 + dy, grid.ly)
+        q = np.ones(n)
+        jx, jy = deposit_current_zigzag(grid, x1, y1, x2, y2, q, dt=0.25)
+        res = continuity_residual(
+            grid, cic_rho(grid, x1, y1, q), cic_rho(grid, x2, y2, q), jx, jy, 0.25
+        )
+        assert np.abs(res).max() < 1e-10
+
+
+class TestPlainDepositionViolatesContinuity:
+    def test_motivates_zigzag(self, grid):
+        """The era kernel's (interpolated v * q) current does NOT satisfy
+        the same discrete continuity — the reason Marder cleaning exists."""
+        rng = np.random.default_rng(1)
+        n = 200
+        x1 = rng.uniform(0, 8, n)
+        y1 = rng.uniform(0, 8, n)
+        ux = rng.uniform(-0.5, 0.5, n)
+        uy = rng.uniform(-0.5, 0.5, n)
+        dt = 0.5
+        parts = ParticleArray.empty(n)
+        parts.x[:] = x1
+        parts.y[:] = y1
+        parts.ux[:] = ux
+        parts.uy[:] = uy
+        parts.q[:] = 1.0
+        parts.w[:] = 1.0
+        _, jx_plain, jy_plain, _ = deposit_charge_current(grid, parts)
+        gamma = np.sqrt(1 + ux**2 + uy**2)
+        x2 = np.mod(x1 + dt * ux / gamma, 8.0)
+        y2 = np.mod(y1 + dt * uy / gamma, 8.0)
+        q = np.ones(n)
+        res = continuity_residual(
+            grid, cic_rho(grid, x1, y1, q), cic_rho(grid, x2, y2, q),
+            jx_plain, jy_plain, dt,
+        )
+        assert np.abs(res).max() > 1e-3
+
+
+class TestValidation:
+    def test_too_large_move_rejected(self, grid):
+        with pytest.raises(ValueError, match="less than one cell"):
+            deposit_current_zigzag(
+                grid,
+                np.array([0.5]), np.array([0.5]),
+                np.array([2.5]), np.array([0.5]),
+                np.array([1.0]), 1.0,
+            )
+
+    def test_length_mismatch_rejected(self, grid):
+        with pytest.raises(ValueError):
+            deposit_current_zigzag(
+                grid, np.zeros(2), np.zeros(2), np.zeros(3), np.zeros(2),
+                np.zeros(2), 1.0,
+            )
+
+    def test_zero_motion_zero_current(self, grid):
+        x = np.array([3.3])
+        y = np.array([4.4])
+        jx, jy = deposit_current_zigzag(grid, x, y, x, y, np.array([1.0]), 1.0)
+        assert np.abs(jx).max() == 0 and np.abs(jy).max() == 0
+
+    def test_empty_input(self, grid):
+        jx, jy = deposit_current_zigzag(
+            grid, np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0), 1.0
+        )
+        assert jx.shape == grid.shape

@@ -1,0 +1,54 @@
+"""Tests for SimulationResult export and the verify CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.pic import Simulation, SimulationConfig
+
+
+@pytest.fixture
+def result():
+    cfg = SimulationConfig(nx=16, ny=16, nparticles=512, p=4, seed=0, policy="periodic:3")
+    return Simulation(cfg).run(6)
+
+
+class TestToDict:
+    def test_round_trips_through_json(self, result):
+        blob = json.dumps(result.to_dict())
+        back = json.loads(blob)
+        assert back["totals"]["iterations"] == 6
+        assert back["config"]["p"] == 4
+
+    def test_series_lengths(self, result):
+        d = result.to_dict()
+        assert len(d["series"]["iteration_time"]) == 6
+        assert len(d["series"]["scatter_max_bytes"]) == 6
+        assert d["series"]["redistributed"].count(True) == 2
+
+    def test_totals_consistent(self, result):
+        d = result.to_dict()
+        assert d["totals"]["total_time"] == pytest.approx(result.total_time)
+        assert d["totals"]["overhead"] == pytest.approx(result.overhead)
+
+    def test_machine_name_present(self, result):
+        assert result.to_dict()["config"]["machine"] == "cm5"
+
+
+class TestSaveJson:
+    def test_save_and_reload(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        result.save_json(path)
+        back = json.loads(path.read_text())
+        assert back["totals"]["n_redistributions"] == result.n_redistributions
+
+
+class TestVerifyCommand:
+    def test_verify_passes(self, capsys):
+        assert main(["verify", "-p", "4", "--iterations", "4"]) == 0
+        assert "VERIFY OK" in capsys.readouterr().out
+
+    def test_verify_with_snake(self, capsys):
+        assert main(["verify", "-p", "2", "--iterations", "3", "--scheme", "snake"]) == 0

@@ -1,0 +1,100 @@
+"""Tests for repro.util (rng, validation, op counting)."""
+
+import numpy as np
+import pytest
+
+from repro.util import OpCounter, as_rng, require, require_positive, require_type
+
+
+class TestAsRng:
+    def test_seed_gives_reproducible_stream(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_rng(1).random(5), as_rng(2).random(5))
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(as_rng(np.int64(3)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            as_rng("seed")
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_positive_strict(self):
+        require_positive(1.0, "x")
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(0.0, "x")
+
+    def test_require_positive_nonstrict(self):
+        require_positive(0.0, "x", strict=False)
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            require_positive(-1.0, "x", strict=False)
+
+    def test_require_type_single(self):
+        require_type(3, int, "n")
+        with pytest.raises(TypeError, match="n must be int"):
+            require_type("3", int, "n")
+
+    def test_require_type_tuple_message(self):
+        with pytest.raises(TypeError, match="int | float"):
+            require_type("x", (int, float), "v")
+
+
+class TestOpCounter:
+    def test_add_and_get(self):
+        counter = OpCounter()
+        counter.add("scatter", 10)
+        counter.add("scatter", 5)
+        assert counter.get("scatter") == 15
+
+    def test_unseen_category_is_zero(self):
+        assert OpCounter().get("nope") == 0.0
+
+    def test_total(self):
+        counter = OpCounter()
+        counter.add("a", 1)
+        counter.add("b", 2)
+        assert counter.total() == 3
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3 and a.get("y") == 3
+
+    def test_reset(self):
+        counter = OpCounter()
+        counter.add("x", 1)
+        counter.reset()
+        assert counter.total() == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().add("x", -1)
+
+    def test_as_dict_snapshot(self):
+        counter = OpCounter()
+        counter.add("x", 1)
+        d = counter.as_dict()
+        d["x"] = 99
+        assert counter.get("x") == 1
