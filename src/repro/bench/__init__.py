@@ -1,0 +1,52 @@
+"""Unified perf-regression harness (``python -m repro bench ...``).
+
+The subsystem has four layers:
+
+* :mod:`repro.bench.core` — the :class:`BenchCase` / :class:`BenchResult`
+  data model and the ``BENCH_<suite>.json`` trajectory schema;
+* :mod:`repro.bench.runner` — warmup + repeats execution collecting
+  wall-clock, virtual-machine time, op counts, and peak RSS;
+* :mod:`repro.bench.registry` — named case registry, including wrappers
+  for the ``benchmarks/bench_*.py`` paper report generators;
+* :mod:`repro.bench.compare` — trajectory diffing with a tier-1
+  regression gate.
+"""
+
+from repro.bench.compare import CaseDelta, Comparison, compare_files, compare_suites
+from repro.bench.core import (
+    SCHEMA,
+    BenchCase,
+    BenchObservation,
+    BenchResult,
+    SuiteResult,
+)
+from repro.bench.registry import (
+    all_cases,
+    available_suites,
+    cases_for_suite,
+    ensure_registered,
+    register,
+    register_case,
+)
+from repro.bench.runner import peak_rss_kb, run_case, run_suite
+
+__all__ = [
+    "SCHEMA",
+    "BenchCase",
+    "BenchObservation",
+    "BenchResult",
+    "SuiteResult",
+    "CaseDelta",
+    "Comparison",
+    "compare_files",
+    "compare_suites",
+    "register",
+    "register_case",
+    "all_cases",
+    "available_suites",
+    "cases_for_suite",
+    "ensure_registered",
+    "run_case",
+    "run_suite",
+    "peak_rss_kb",
+]

@@ -1,0 +1,96 @@
+"""Execute registered cases: warmup, repeats, and observable collection.
+
+Timing uses ``time.perf_counter`` around the case body only (setup is
+untimed).  Garbage collection is paused during timed sections so a
+collection triggered by an earlier case cannot be billed to a later one.
+Peak RSS comes from ``resource.getrusage`` where available (Linux
+reports KiB; macOS bytes are normalized to KiB).
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+
+from repro.bench.core import BenchCase, BenchObservation, BenchResult, SuiteResult
+
+__all__ = ["peak_rss_kb", "run_case", "run_suite"]
+
+
+def peak_rss_kb() -> int | None:
+    """Process peak resident-set size in KiB, or ``None`` if unsupported."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-posix
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak //= 1024
+    return int(peak)
+
+
+def run_case(
+    case: BenchCase,
+    *,
+    repeats: int | None = None,
+    warmup: int | None = None,
+) -> BenchResult:
+    """Run one case with warmup + repeats and collect its observables.
+
+    The observation (vm time, op counts) is taken from the final timed
+    repeat; wall-clock statistics cover all timed repeats.
+    """
+    repeats = case.repeats if repeats is None else repeats
+    warmup = case.warmup if warmup is None else warmup
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    context = case.setup() if case.setup is not None else None
+    for _ in range(warmup):
+        case.fn(context)
+    samples: list[float] = []
+    observation = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            observation = case.fn(context)
+            samples.append(time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if not isinstance(observation, BenchObservation):
+        observation = BenchObservation()
+    return BenchResult(
+        name=case.name,
+        tier=case.tier,
+        repeats=repeats,
+        warmup=warmup,
+        wall_samples=samples,
+        vm_seconds=observation.vm_seconds,
+        op_counts=dict(observation.op_counts),
+        peak_rss_kb=peak_rss_kb(),
+        extra=dict(observation.extra),
+    )
+
+
+def run_suite(
+    suite: str,
+    cases: list[BenchCase],
+    *,
+    repeats: int | None = None,
+    warmup: int | None = None,
+    progress=None,
+) -> SuiteResult:
+    """Run every case of a suite (in registration order).
+
+    ``progress`` is an optional ``callable(case_name)`` invoked before
+    each case — the CLI uses it for live status lines.
+    """
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(case.name)
+        results.append(run_case(case, repeats=repeats, warmup=warmup))
+    return SuiteResult(suite=suite, results=results)

@@ -1,0 +1,282 @@
+"""The registered hot-path cases (suites ``smoke`` and ``full``).
+
+Every case here runs on a :class:`~repro.machine.VirtualMachine` so it
+reports all three regression axes: host wall-clock, cost-model virtual
+seconds, and abstract op counts.  Sizes are chosen so one ``smoke`` run
+finishes in a few seconds — cheap enough to gate every PR — while still
+exercising the real vectorized kernels on non-trivial data.
+
+Cases are tier 1 (regression-gated) unless noted; the heavyweight paper
+report generators are wrapped separately into the ``paper`` suite by
+:mod:`repro.bench.registry`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.core import BenchObservation
+from repro.bench.registry import register
+from repro.core.incremental_sort import BucketState, bucket_incremental_sort
+from repro.core.redistribution import Redistributor
+from repro.core.partitioner import ParticlePartitioner
+from repro.indexing import hilbert_xy_to_d
+from repro.machine import MachineModel, VirtualMachine
+from repro.mesh import CurveBlockDecomposition, Grid2D
+from repro.particles import gaussian_blob
+from repro.particles.sort import parallel_sample_sort
+from repro.pic import ParallelPIC, Simulation, SimulationConfig
+from repro.pic.ghost import make_ghost_table
+
+#: Shared problem size of the PIC-phase cases.
+_P = 8
+_NX, _NY = 64, 32
+_NPART = 8192
+_SEED = 3
+
+
+def _observe(vm: VirtualMachine, body) -> BenchObservation:
+    """Run ``body`` and report the vm-time / op-count deltas it caused."""
+    ops_before = vm.ops.as_dict()
+    t0 = vm.elapsed()
+    body()
+    ops_after = vm.ops.as_dict()
+    deltas = {
+        k: v - ops_before.get(k, 0.0)
+        for k, v in ops_after.items()
+        if v - ops_before.get(k, 0.0) > 0.0
+    }
+    return BenchObservation(vm_seconds=vm.elapsed() - t0, op_counts=deltas)
+
+
+def _build_pic(movement: str = "lagrangian") -> ParallelPIC:
+    grid = Grid2D(_NX, _NY)
+    particles = gaussian_blob(grid, _NPART, rng=_SEED)
+    vm = VirtualMachine(_P, MachineModel.cm5())
+    decomp = CurveBlockDecomposition(grid, _P, "hilbert")
+    if movement == "eulerian":
+        cells = grid.cell_id_of_positions(particles.x, particles.y)
+        owners = decomp.owner_of_cells(cells)
+        local = [particles.take(np.flatnonzero(owners == r)) for r in range(_P)]
+    else:
+        local = ParticlePartitioner(grid, "hilbert").initial_partition(particles, _P)
+    return ParallelPIC(vm, grid, decomp, local, movement=movement)
+
+
+# ----------------------------------------------------------------------
+# PIC phase cases
+# ----------------------------------------------------------------------
+@register(
+    "scatter_static",
+    suites=("smoke", "full"),
+    tier=1,
+    description="parallel scatter (deposition + ghost exchange), static partition",
+    setup=_build_pic,
+)
+def _scatter_static(pic: ParallelPIC) -> BenchObservation:
+    return _observe(pic.vm, pic.scatter)
+
+
+@register(
+    "gather_push_static",
+    suites=("smoke", "full"),
+    tier=1,
+    description="parallel gather + push, static partition",
+    setup=lambda: (lambda pic: (pic.scatter(), pic.field_solve(), pic)[-1])(_build_pic()),
+)
+def _gather_push_static(pic: ParallelPIC) -> BenchObservation:
+    return _observe(pic.vm, pic.gather_push)
+
+
+@register(
+    "step_static_lagrangian",
+    suites=("smoke", "full"),
+    tier=1,
+    description="one full PIC step (scatter/field/gather/push), Lagrangian",
+    setup=_build_pic,
+)
+def _step_static(pic: ParallelPIC) -> BenchObservation:
+    return _observe(pic.vm, pic.step)
+
+
+@register(
+    "step_eulerian",
+    suites=("smoke", "full"),
+    tier=1,
+    description="one full PIC step with Eulerian per-step migration",
+    setup=lambda: _build_pic("eulerian"),
+)
+def _step_eulerian(pic: ParallelPIC) -> BenchObservation:
+    return _observe(pic.vm, pic.step)
+
+
+# ----------------------------------------------------------------------
+# redistribution-core cases
+# ----------------------------------------------------------------------
+def _sort_fixture(drift: int, p: int = 16, n_per: int = 4000):
+    rng = np.random.default_rng(_SEED)
+    all_keys = np.sort(rng.integers(0, 10**6, p * n_per))
+    states = []
+    for r in range(p):
+        keys = all_keys[r * n_per : (r + 1) * n_per]
+        payload = np.repeat(keys, 7).reshape(-1, 7).astype(float)
+        states.append(BucketState.build(keys, payload, 16))
+    new_keys = [
+        np.maximum(s.keys + rng.integers(-drift, drift + 1, s.n), 0) for s in states
+    ]
+    return VirtualMachine(p, MachineModel.cm5()), states, new_keys
+
+
+@register(
+    "incremental_resort_small_drift",
+    suites=("smoke", "full"),
+    tier=1,
+    description="bucket incremental sort, ~1% of elements change rank",
+    setup=lambda: _sort_fixture(drift=200),
+)
+def _resort_small(ctx) -> BenchObservation:
+    vm, states, new_keys = ctx
+    return _observe(vm, lambda: bucket_incremental_sort(vm, states, new_keys))
+
+
+@register(
+    "incremental_resort_large_drift",
+    suites=("smoke", "full"),
+    tier=1,
+    description="bucket incremental sort under heavy drift",
+    setup=lambda: _sort_fixture(drift=100_000),
+)
+def _resort_large(ctx) -> BenchObservation:
+    vm, states, new_keys = ctx
+    return _observe(vm, lambda: bucket_incremental_sort(vm, states, new_keys))
+
+
+@register(
+    "from_scratch_sample_sort",
+    suites=("smoke", "full"),
+    tier=1,
+    description="parallel sample sort of the same keyed rows (baseline)",
+    setup=lambda: _sort_fixture(drift=200),
+)
+def _sample_sort(ctx) -> BenchObservation:
+    vm, states, new_keys = ctx
+    payloads = [s.payload for s in states]
+    return _observe(vm, lambda: parallel_sample_sort(vm, new_keys, payloads))
+
+
+def _redistributor_fixture():
+    grid = Grid2D(_NX, _NY)
+    particles = gaussian_blob(grid, _NPART, rng=_SEED)
+    vm = VirtualMachine(_P, MachineModel.cm5())
+    partitioner = ParticlePartitioner(grid, "hilbert")
+    redis = Redistributor(partitioner, nbuckets=16)
+    local = partitioner.initial_partition(particles, _P)
+    result = redis.initialize(vm, local)
+    rng = np.random.default_rng(_SEED)
+    return {"vm": vm, "redis": redis, "particles": result.particles, "rng": rng, "grid": grid}
+
+
+@register(
+    "redistributor_epoch_drift",
+    suites=("smoke", "full"),
+    tier=1,
+    description="full Redistributor epoch (index + incremental sort + balance) under small drift",
+    setup=_redistributor_fixture,
+)
+def _redistributor_epoch(ctx) -> BenchObservation:
+    vm, redis, rng, grid = ctx["vm"], ctx["redis"], ctx["rng"], ctx["grid"]
+    for parts in ctx["particles"]:
+        parts.x[:] = np.mod(parts.x + rng.normal(0.0, 0.05 * grid.dx, parts.n), grid.lx)
+
+    def body():
+        result = redis.redistribute(vm, ctx["particles"])
+        ctx["particles"] = result.particles
+
+    return _observe(vm, body)
+
+
+# ----------------------------------------------------------------------
+# kernel / table micro-cases
+# ----------------------------------------------------------------------
+@register(
+    "hilbert_cell_keys",
+    suites=("smoke", "full"),
+    tier=1,
+    description="2-D Hilbert indexing of 200k cell coordinates",
+    setup=lambda: (
+        VirtualMachine(1, MachineModel.cm5()),
+        np.random.default_rng(_SEED).integers(0, 256, 200_000),
+        np.random.default_rng(_SEED + 1).integers(0, 256, 200_000),
+    ),
+)
+def _hilbert_keys(ctx) -> BenchObservation:
+    vm, x, y = ctx
+
+    def body():
+        hilbert_xy_to_d(8, x, y)
+        vm.charge_ops("index", float(x.size))
+
+    return _observe(vm, body)
+
+
+def _ghost_fixture(kind: str):
+    grid = Grid2D(128, 64)
+    rng = np.random.default_rng(_SEED)
+    nodes = rng.integers(0, grid.nnodes, 60_000)
+    values = rng.random((4, nodes.size))
+    table = make_ghost_table(kind, grid.nnodes, 4)
+    return VirtualMachine(1, MachineModel.cm5()), table, nodes, values
+
+
+def _ghost_body(ctx) -> BenchObservation:
+    vm, table, nodes, values = ctx
+
+    def body():
+        before = table.stats.ops
+        table.accumulate(nodes, values)
+        table.flush()
+        vm.charge_ops("table", table.stats.ops - before)
+
+    return _observe(vm, body)
+
+
+register(
+    "ghost_table_hash",
+    suites=("smoke", "full"),
+    tier=1,
+    description="hash ghost table: accumulate + duplicate-removal flush",
+    setup=lambda: _ghost_fixture("hash"),
+)(_ghost_body)
+
+register(
+    "ghost_table_direct",
+    suites=("smoke", "full"),
+    tier=1,
+    description="direct-address ghost table: accumulate + flush",
+    setup=lambda: _ghost_fixture("direct"),
+)(_ghost_body)
+
+
+# ----------------------------------------------------------------------
+# end-to-end simulation case
+# ----------------------------------------------------------------------
+@register(
+    "simulation_smoke_dynamic",
+    suites=("smoke", "full"),
+    tier=1,
+    repeats=3,
+    description="10 iterations of the full Simulation driver, dynamic policy",
+    setup=lambda: Simulation(
+        SimulationConfig(
+            nx=32,
+            ny=16,
+            nparticles=2048,
+            p=4,
+            distribution="irregular",
+            policy="dynamic",
+            seed=_SEED,
+        )
+    ),
+)
+def _simulation_smoke(sim: Simulation) -> BenchObservation:
+    return _observe(sim.vm, lambda: sim.run(10))

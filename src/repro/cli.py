@@ -7,6 +7,8 @@ Usage examples::
     python -m repro run --case fig20 --policy periodic:25
     python -m repro scenarios
     python -m repro schemes
+    python -m repro bench run --suite smoke --json
+    python -m repro bench compare BENCH_old.json BENCH_smoke.json
 """
 
 from __future__ import annotations
@@ -80,6 +82,36 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--iterations", type=int, default=10)
     verify.add_argument("--scheme", default="hilbert")
     verify.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="perf-regression harness (repro.bench)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    brun = bench_sub.add_parser("run", help="run a suite and write BENCH_<suite>.json")
+    brun.add_argument("--suite", default="smoke",
+                      help="suite name (smoke | full | paper | all); default smoke")
+    brun.add_argument("--case", action="append", default=None, metavar="NAME",
+                      help="run only the named case(s); repeatable")
+    brun.add_argument("--repeats", type=int, default=None,
+                      help="override timed repeats per case")
+    brun.add_argument("--warmup", type=int, default=None,
+                      help="override untimed warmup runs per case")
+    brun.add_argument("--output", metavar="PATH", default=None,
+                      help="trajectory file path (default BENCH_<suite>.json in cwd)")
+    brun.add_argument("--json", action="store_true",
+                      help="also print the trajectory document to stdout")
+
+    bcmp = bench_sub.add_parser(
+        "compare", help="diff two trajectory files; exit 1 on tier-1 regressions"
+    )
+    bcmp.add_argument("old", help="baseline BENCH_*.json")
+    bcmp.add_argument("new", help="candidate BENCH_*.json")
+    bcmp.add_argument("--threshold", type=float, default=0.2,
+                      help="relative wall-clock slowdown that fails (default 0.2 = 20%%)")
+    bcmp.add_argument("--json", action="store_true",
+                      help="print the machine-readable diff")
+
+    blist = bench_sub.add_parser("list", help="list registered cases")
+    blist.add_argument("--suite", default="all", help="restrict to one suite")
     return parser
 
 
@@ -222,6 +254,111 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import cases_for_suite, run_suite
+
+    cases = cases_for_suite(args.suite)
+    if args.case:
+        by_name = {c.name: c for c in cases_for_suite("all")}
+        missing = [name for name in args.case if name not in by_name]
+        if missing:
+            raise SystemExit(f"unknown bench case(s): {', '.join(missing)}")
+        cases = [by_name[name] for name in args.case]
+    if not cases:
+        raise SystemExit(f"no bench cases in suite {args.suite!r}")
+    if args.repeats is not None and args.repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+    if args.warmup is not None and args.warmup < 0:
+        raise SystemExit(f"--warmup must be >= 0, got {args.warmup}")
+
+    def progress(name: str) -> None:
+        print(f"[bench] {name} ...", file=sys.stderr, flush=True)
+
+    suite = run_suite(
+        args.suite, cases, repeats=args.repeats, warmup=args.warmup, progress=progress
+    )
+    output = args.output or f"BENCH_{args.suite}.json"
+    path = suite.save(output)
+    if args.json:
+        print(json.dumps(suite.to_dict(), indent=2))
+    else:
+        rows = [
+            [
+                r.name,
+                r.tier,
+                f"{r.wall_min * 1e3:.2f}",
+                f"{r.wall_mean * 1e3:.2f}",
+                f"{r.vm_seconds:.4f}" if r.vm_seconds is not None else "-",
+                f"{sum(r.op_counts.values()):.3g}" if r.op_counts else "-",
+            ]
+            for r in suite.results
+        ]
+        print(format_table(
+            ["case", "tier", "wall min (ms)", "wall mean (ms)", "vm (s)", "ops"],
+            rows,
+            title=f"bench suite {args.suite!r} ({len(rows)} cases)",
+        ))
+    print(f"[written to {path}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare_files
+
+    try:
+        comparison = compare_files(args.old, args.new, threshold=args.threshold)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"trajectory file not found: {exc.filename}")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        rows = []
+        for d in sorted(comparison.deltas, key=lambda d: d.wall_ratio, reverse=True):
+            flag = ""
+            if d.tier <= 1 and d.regressed(args.threshold):
+                flag = "REGRESSED"
+            elif d.improved(args.threshold):
+                flag = "improved"
+            rows.append([
+                d.name,
+                d.tier,
+                f"{d.old_wall * 1e3:.2f}",
+                f"{d.new_wall * 1e3:.2f}",
+                f"{(d.wall_ratio - 1.0) * 100:+.1f}%",
+                f"{(d.vm_ratio - 1.0) * 100:+.1f}%" if d.vm_ratio is not None else "-",
+                flag,
+            ])
+        print(format_table(
+            ["case", "tier", "old (ms)", "new (ms)", "wall delta", "vm delta", ""],
+            rows,
+            title=f"bench compare (gate: tier-1 wall > +{args.threshold * 100:.0f}%)",
+        ))
+        for name in comparison.only_old:
+            print(f"  only in old: {name}")
+        for name in comparison.only_new:
+            print(f"  only in new: {name}")
+        verdict = "OK" if comparison.ok else (
+            f"FAILED: {len(comparison.regressions)} tier-1 regression(s)"
+        )
+        print(f"bench compare: {verdict}")
+    return 0 if comparison.ok else 1
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import cases_for_suite
+
+    cases = cases_for_suite(args.suite)
+    rows = [[c.name, ",".join(c.suites), c.tier, c.repeats, c.description] for c in cases]
+    print(format_table(
+        ["case", "suites", "tier", "repeats", "description"],
+        rows,
+        title=f"registered bench cases ({args.suite})",
+    ))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -233,6 +370,13 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_schemes()
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "bench":
+        if args.bench_command == "run":
+            return _cmd_bench_run(args)
+        if args.bench_command == "compare":
+            return _cmd_bench_compare(args)
+        if args.bench_command == "list":
+            return _cmd_bench_list(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -68,6 +68,17 @@ class BucketState:
     bucket_lows: np.ndarray
     bucket_highs: np.ndarray
 
+    def __post_init__(self) -> None:
+        # Per-element key range of the bucket each element sat in at
+        # build time.  Classification (Fig 12 line 10) only ever asks
+        # "is my new key still inside my old bucket's range?", so these
+        # expanded arrays replace a per-epoch searchsorted over all
+        # elements with two vectorized comparisons.
+        sizes = np.diff(self.bucket_offsets)
+        buckets = np.repeat(np.arange(sizes.shape[0]), sizes)
+        self.elem_lows = self.bucket_lows[buckets]
+        self.elem_highs = self.bucket_highs[buckets]
+
     @classmethod
     def build(cls, keys: np.ndarray, payload: np.ndarray, nbuckets: int) -> "BucketState":
         """Divide a sorted run into ``nbuckets`` equal buckets (Fig 12 lines 4–6)."""
@@ -146,50 +157,46 @@ def bucket_incremental_sort(
     stats = IncrementalSortStats()
     kept_keys: list[np.ndarray] = []
     kept_payloads: list[np.ndarray] = []
-    dests: list[np.ndarray] = []
+    send_keys: list[np.ndarray] = []
+    send_payloads: list[np.ndarray] = []
+    send_dests: list[np.ndarray] = []
     class_ops = np.zeros(p)
     for r in range(p):
         state = states[r]
         keys = np.asarray(new_keys[r])
         require(keys.shape[0] == state.n, f"rank {r}: new_keys length mismatch")
         dest = np.searchsorted(splitters, keys, side="left").astype(np.int64)
-        dests.append(dest)
         off = dest != r
-        # Previous bucket of each element (by its stored position).
-        prev_bucket = (
-            np.searchsorted(state.bucket_offsets, np.arange(state.n), side="right") - 1
-        )
-        same_bucket = (
-            ~off
-            & (keys >= state.bucket_lows[prev_bucket])
-            & (keys <= state.bucket_highs[prev_bucket])
-        )
-        moved_bucket = ~off & ~same_bucket
+        n_off = int(np.count_nonzero(off))
+        same_bucket = ~off & (keys >= state.elem_lows) & (keys <= state.elem_highs)
+        n_same = int(np.count_nonzero(same_bucket))
+        n_moved = state.n - n_off - n_same
         nb = max(state.nbuckets, 2)
-        stats.same_bucket += int(same_bucket.sum())
-        stats.moved_bucket += int(moved_bucket.sum())
-        stats.moved_rank += int(off.sum())
+        stats.same_bucket += n_same
+        stats.moved_bucket += n_moved
+        stats.moved_rank += n_off
         class_ops[r] = (
-            float(same_bucket.sum())
-            + float(moved_bucket.sum()) * np.log2(nb)
-            + float(off.sum()) * np.log2(max(p, 2))
+            float(n_same) + float(n_moved) * np.log2(nb) + float(n_off) * np.log2(max(p, 2))
         )
-        kept_keys.append(keys[~off])
-        kept_payloads.append(state.payload[~off])
+        if n_off:
+            off_idx = np.flatnonzero(off)
+            keep_idx = np.flatnonzero(~off)
+            kept_keys.append(keys.take(keep_idx))
+            kept_payloads.append(state.payload.take(keep_idx, axis=0))
+            send_keys.append(keys.take(off_idx).reshape(-1, 1))
+            send_payloads.append(state.payload.take(off_idx, axis=0))
+            send_dests.append(dest.take(off_idx))
+        else:
+            kept_keys.append(keys)
+            kept_payloads.append(state.payload)
+            send_keys.append(keys[:0].reshape(-1, 1))
+            send_payloads.append(state.payload[:0])
+            send_dests.append(dest[:0])
     vm.charge_ops("sort", class_ops)
 
     # All-to-many exchange of the off-rank elements (line 20).
-    payloads = [state.payload for state in states]
-    recv_payloads = exchange_by_destination(
-        vm,
-        [payloads[r][dests[r] != r] for r in range(p)],
-        [dests[r][dests[r] != r] for r in range(p)],
-    )
-    recv_keys = exchange_by_destination(
-        vm,
-        [np.asarray(new_keys[r])[dests[r] != r].reshape(-1, 1) for r in range(p)],
-        [dests[r][dests[r] != r] for r in range(p)],
-    )
+    recv_payloads = exchange_by_destination(vm, send_payloads, send_dests)
+    recv_keys = exchange_by_destination(vm, send_keys, send_dests)
 
     # Per-bucket re-sort of kept elements + sort of received + merge
     # (lines 21-24).  The real arrays are sorted outright; the *charged*
@@ -205,9 +212,12 @@ def bucket_incremental_sort(
             rpay = rpay.reshape(0, states[r].payload.shape[1])
         keys = np.concatenate([kept_keys[r], rkeys])
         pay = np.concatenate([kept_payloads[r], rpay])
-        order = np.argsort(keys, kind="stable")
-        out_keys.append(keys[order])
-        out_payloads.append(pay[order])
+        if keys.shape[0] > 1 and np.any(keys[1:] < keys[:-1]):
+            order = np.argsort(keys, kind="stable")
+            keys = keys.take(order)
+            pay = pay.take(order, axis=0)
+        out_keys.append(keys)
+        out_payloads.append(pay)
         nb = max(states[r].nbuckets, 2)
         bucket_size = max(kept_keys[r].shape[0] / nb, 2.0)
         sort_ops[r] = (

@@ -17,8 +17,10 @@ def particle_counts(local_particles: list[ParticleArray]) -> np.ndarray:
 def load_imbalance(counts: np.ndarray) -> float:
     """``max / mean`` of a per-rank count array (1.0 = perfectly balanced).
 
-    Returns ``inf`` when some rank has work but the mean is 0 is
-    impossible; an all-zero array reports 1.0.
+    A positive mean is guaranteed whenever any rank has work, so the
+    ratio is always finite; an all-zero array (no work anywhere) is
+    perfectly balanced by convention and reports 1.0.  A single rank
+    holding everything reports ``p`` (the rank count).
     """
     counts = np.asarray(counts, dtype=float)
     mean = counts.mean()

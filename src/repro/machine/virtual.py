@@ -22,6 +22,7 @@ import numpy as np
 from repro.machine.model import MachineModel
 from repro.machine.stats import CommStats
 from repro.util import require
+from repro.util.opcount import OpCounter
 
 __all__ = ["VirtualMachine"]
 
@@ -45,6 +46,10 @@ class VirtualMachine:
         split "computation" from "overhead" like Figures 21–22).
     stats:
         The :class:`CommStats` ledger of message traffic.
+    ops:
+        An :class:`~repro.util.opcount.OpCounter` of all abstract
+        operations charged (summed over ranks, keyed by category) —
+        the machine-independent work record the bench harness exports.
     """
 
     def __init__(self, p: int, model: MachineModel | None = None) -> None:
@@ -55,6 +60,7 @@ class VirtualMachine:
         self.compute_time = np.zeros(p)
         self.comm_time = np.zeros(p)
         self.stats = CommStats(p)
+        self.ops = OpCounter()
         self.phase_time: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(self.p))
         self._phase_stack: list[str] = []
 
@@ -106,6 +112,7 @@ class VirtualMachine:
         length ``p``.
         """
         counts = np.broadcast_to(np.asarray(counts, dtype=float), (self.p,))
+        self.ops.add(category, float(counts.sum()))
         seconds = np.array([self.model.compute_cost(category, c) for c in counts])
         self._charge(seconds, kind="compute")
 

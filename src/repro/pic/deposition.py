@@ -23,9 +23,19 @@ CHANNELS = ("rho", "jx", "jy", "jz")
 
 
 def deposition_entries(
-    grid: Grid2D, particles: ParticleArray
+    grid: Grid2D,
+    particles: ParticleArray,
+    vertices: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Compute per-(particle, vertex) deposition entries.
+
+    Parameters
+    ----------
+    vertices:
+        Optional precomputed ``(nodes, weights)`` from
+        :meth:`~repro.mesh.grid.Grid2D.cic_vertices_weights` for these
+        particles' current positions — the parallel stepper shares one
+        CIC evaluation between its scatter and gather phases.
 
     Returns
     -------
@@ -36,7 +46,10 @@ def deposition_entries(
         channel (rho, jx, jy, jz) per particle per vertex, i.e.
         ``weight_vertex * w * q * (1, vx, vy, vz)``.
     """
-    nodes, weights = grid.cic_vertices_weights(particles.x, particles.y)
+    if vertices is None:
+        nodes, weights = grid.cic_vertices_weights(particles.x, particles.y)
+    else:
+        nodes, weights = vertices
     inv_gamma = 1.0 / particles.gamma()
     charge = particles.w * particles.q
     per_particle = np.stack(

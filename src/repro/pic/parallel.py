@@ -124,6 +124,12 @@ class ParallelPIC:
         # Ghost schedule of the latest scatter: _ghost_nodes[r][owner] =
         # node ids rank r contributed to that are owned by `owner`.
         self._ghost_nodes: list[dict[int, np.ndarray]] = [dict() for _ in range(vm.p)]
+        # Per-rank CIC (nodes, weights) computed by the latest scatter,
+        # keyed by particle-array identity.  Particle positions do not
+        # change between scatter and gather (the push runs after the
+        # gather), so the gather reuses the scatter's vertex evaluation
+        # instead of recomputing it; the cache is dropped once consumed.
+        self._cic_cache: list[tuple[ParticleArray, np.ndarray, np.ndarray]] | None = None
         # Test hooks: the most recent halo / gather deliveries, for
         # verifying that communicated values equal the owners' data.
         self.last_halo: list[dict[int, np.ndarray]] = []
@@ -140,29 +146,43 @@ class ParallelPIC:
         acc = np.zeros((len(CHANNELS), nnodes))
         sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
         ghost_nodes: list[dict[int, np.ndarray]] = []
+        cic_cache: list[tuple[ParticleArray, np.ndarray, np.ndarray]] = []
+        nchannels = len(CHANNELS)
         with vm.phase("scatter"):
             table_ops = np.zeros(vm.p)
             for r in range(vm.p):
                 parts = self.particles[r]
-                nodes, values = deposition_entries(grid, parts)
+                vertices = grid.cic_vertices_weights(parts.x, parts.y)
+                cic_cache.append((parts, vertices[0], vertices[1]))
+                nodes, values = deposition_entries(grid, parts, vertices)
                 flat_nodes = nodes.ravel()
-                flat_values = values.reshape(len(CHANNELS), -1)
+                flat_values = values.reshape(nchannels, -1)
                 owners = self.node_owner[flat_nodes]
                 mine = owners == r
+                ghost_idx = np.flatnonzero(~mine)
+                if ghost_idx.size:
+                    mine_idx = np.flatnonzero(mine)
+                    nodes_mine = flat_nodes.take(mine_idx)
+                    values_mine = flat_values.take(mine_idx, axis=1)
+                else:
+                    nodes_mine = flat_nodes
+                    values_mine = flat_values
                 # On-rank contributions accumulate directly.
-                for c in range(len(CHANNELS)):
+                for c in range(nchannels):
                     acc[c] += np.bincount(
-                        flat_nodes[mine], weights=flat_values[c][mine], minlength=nnodes
+                        nodes_mine, weights=values_mine[c], minlength=nnodes
                     )
-                # Off-rank contributions: duplicate removal + coalescing.
-                table = self.ghost_tables[r]
-                ops_before = table.stats.ops
-                table.accumulate(flat_nodes[~mine], flat_values[:, ~mine])
-                uniq, summed = table.flush()
-                table_ops[r] = table.stats.ops - ops_before
                 chunk: dict[int, tuple[np.ndarray, np.ndarray]] = {}
                 ghosts: dict[int, np.ndarray] = {}
-                if uniq.size:
+                if ghost_idx.size:
+                    # Off-rank contributions: duplicate removal + coalescing.
+                    table = self.ghost_tables[r]
+                    ops_before = table.stats.ops
+                    table.accumulate(
+                        flat_nodes.take(ghost_idx), flat_values.take(ghost_idx, axis=1)
+                    )
+                    uniq, summed = table.flush()
+                    table_ops[r] = table.stats.ops - ops_before
                     ghost_owner = self.node_owner[uniq]
                     for owner in np.unique(ghost_owner):
                         sel = ghost_owner == owner
@@ -184,6 +204,7 @@ class ParallelPIC:
             vm.charge_ops("table", merge_ops)
 
         self._ghost_nodes = ghost_nodes
+        self._cic_cache = cic_cache
         scale = 1.0 / (grid.dx * grid.dy)
         shaped = (acc * scale).reshape(len(CHANNELS), grid.ny, grid.nx)
         k = self.smoothing_passes
@@ -279,10 +300,15 @@ class ParallelPIC:
             recv = vm.alltoallv(sends)
             self.last_gather_messages = recv
             vm.charge_ops("gather", np.array([4.0 * p.n for p in self.particles]))
+            cached = self._cic_cache
+            self._cic_cache = None  # positions change in the push below
             eb = []
             for r in range(vm.p):
                 parts = self.particles[r]
-                nodes, weights = grid.cic_vertices_weights(parts.x, parts.y)
+                if cached is not None and cached[r][0] is parts:
+                    nodes, weights = cached[r][1], cached[r][2]
+                else:
+                    nodes, weights = grid.cic_vertices_weights(parts.x, parts.y)
                 both = gather_from_node_values(node_values, nodes, weights)
                 eb.append(both)
         with vm.phase("push"):

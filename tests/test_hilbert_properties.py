@@ -1,0 +1,162 @@
+"""Property-based invariants of the Hilbert curve transforms.
+
+Complements the example-based ``test_indexing_hilbert.py`` with
+Hypothesis-driven coverage of the three defining properties:
+
+* **round-trip** — ``d_to_xy(xy_to_d(x, y)) == (x, y)`` (and the n-D
+  Skilling transform likewise) across curve orders 1-10;
+* **adjacency** — consecutive curve distances map to grid-neighbour
+  cells (|dx| + |dy| == 1), the locality property the partitioner
+  relies on;
+* **non-power-of-two embedding** — grids embedded into the enclosing
+  ``2^k`` square still get distinct, order-preserving keys.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexing.hilbert import (
+    HilbertIndexing,
+    hilbert_d_to_xy,
+    hilbert_encode_nd,
+    hilbert_decode_nd,
+    hilbert_order_for,
+    hilbert_xy_to_d,
+)
+
+ORDERS = st.integers(1, 10)
+
+
+class TestRoundTrip2D:
+    @given(order=ORDERS, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_xy_d_xy(self, order, data):
+        n = 1 << order
+        coords = st.integers(0, n - 1)
+        x = np.array(data.draw(st.lists(coords, min_size=1, max_size=64)))
+        y = np.array(data.draw(st.lists(coords, min_size=len(x), max_size=len(x))))
+        d = hilbert_xy_to_d(order, x, y)
+        assert d.dtype == np.int64
+        assert d.min() >= 0 and d.max() < n * n
+        x2, y2 = hilbert_d_to_xy(order, d)
+        np.testing.assert_array_equal(x2, x)
+        np.testing.assert_array_equal(y2, y)
+
+    @given(order=ORDERS, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_d_xy_d(self, order, data):
+        n2 = (1 << order) ** 2
+        d = np.array(data.draw(st.lists(st.integers(0, n2 - 1), min_size=1, max_size=64)))
+        x, y = hilbert_d_to_xy(order, d)
+        np.testing.assert_array_equal(hilbert_xy_to_d(order, x, y), d)
+
+    @given(order=st.integers(1, 6))
+    @settings(max_examples=8, deadline=None)
+    def test_bijection_exhaustive(self, order):
+        """The curve visits every cell of the 2^k square exactly once."""
+        n = 1 << order
+        xx, yy = np.meshgrid(np.arange(n), np.arange(n))
+        d = hilbert_xy_to_d(order, xx.ravel(), yy.ravel())
+        assert np.array_equal(np.sort(d), np.arange(n * n))
+
+
+class TestAdjacency:
+    @given(order=st.integers(1, 10), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_consecutive_distances_are_grid_neighbors(self, order, data):
+        n2 = (1 << order) ** 2
+        start = data.draw(st.integers(0, max(0, n2 - 257)))
+        length = data.draw(st.integers(2, min(256, n2 - start)))
+        d = np.arange(start, start + length, dtype=np.int64)
+        x, y = hilbert_d_to_xy(order, d)
+        manhattan = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        np.testing.assert_array_equal(manhattan, np.ones(length - 1, dtype=np.int64))
+
+
+class TestRoundTripND:
+    @given(
+        ndim=st.integers(1, 5),
+        order=ORDERS,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode(self, ndim, order, data):
+        if ndim * order > 62:
+            order = 62 // ndim
+        n = 1 << order
+        npoints = data.draw(st.integers(1, 32))
+        coords = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, n - 1), min_size=ndim, max_size=ndim),
+                    min_size=npoints,
+                    max_size=npoints,
+                )
+            ),
+            dtype=np.int64,
+        )
+        d = hilbert_encode_nd(coords, order)
+        assert d.min() >= 0 and d.max() < (np.int64(1) << (ndim * order))
+        np.testing.assert_array_equal(hilbert_decode_nd(d, order, ndim), coords)
+
+    @given(order=st.integers(1, 8), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_2d_nd_agrees_with_dedicated_2d(self, order, data):
+        """Skilling's n-D transform and the iterative 2-D one are both
+        Hilbert curves: consecutive n-D distances must also be grid
+        neighbours even though the two curves differ by reflection."""
+        n = 1 << order
+        npoints = data.draw(st.integers(2, min(64, n * n)))
+        d = np.sort(
+            np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(0, n * n - 1),
+                        min_size=npoints,
+                        max_size=npoints,
+                        unique=True,
+                    )
+                ),
+                dtype=np.int64,
+            )
+        )
+        coords = hilbert_decode_nd(d, order, 2)
+        consecutive = np.flatnonzero(np.diff(d) == 1)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        np.testing.assert_array_equal(steps[consecutive], 1)
+
+
+class TestNonPowerOfTwoEmbedding:
+    @given(
+        nx=st.integers(1, 40),
+        ny=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_keys_distinct_and_in_range(self, nx, ny):
+        order = hilbert_order_for(nx, ny)
+        side = 1 << order
+        assert side >= max(nx, ny)
+        # Minimality: one order less would not enclose the grid
+        # (except at the order-1 floor).
+        if order > 1:
+            assert (side >> 1) < max(nx, ny)
+        xx, yy = np.meshgrid(np.arange(nx), np.arange(ny))
+        keys = HilbertIndexing().keys(xx.ravel(), yy.ravel(), nx, ny)
+        assert len(np.unique(keys)) == nx * ny
+        assert keys.min() >= 0 and keys.max() < side * side
+
+    @given(
+        nx=st.sampled_from([3, 5, 6, 7, 9, 12, 20]),
+        ny=st.sampled_from([3, 5, 6, 7, 9, 12, 20]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_embedded_keys_match_full_curve(self, nx, ny):
+        """Keys of the embedded grid are the full-curve distances
+        restricted to the grid: ordering matches the enclosing curve."""
+        order = hilbert_order_for(nx, ny)
+        xx, yy = np.meshgrid(np.arange(nx), np.arange(ny))
+        keys = HilbertIndexing().keys(xx.ravel(), yy.ravel(), nx, ny)
+        np.testing.assert_array_equal(
+            keys, hilbert_xy_to_d(order, xx.ravel(), yy.ravel())
+        )

@@ -1,0 +1,204 @@
+"""Differential test: incremental redistribution vs from-scratch sort.
+
+The paper's whole premise (Figure 12) is that the bucket incremental
+sort is a *cheaper implementation of the same function* as the
+from-scratch sample sort.  These tests drive both paths over randomized
+multi-epoch drifts and require the outputs to agree exactly: per-rank
+sorted order, rebuilt bucket boundaries, and rank assignment.
+
+Two levels are covered:
+
+* ``bucket_incremental_sort`` + ``order_maintaining_balance`` on unique
+  integer keys, compared row-for-row against a plain global
+  ``argsort`` + balanced split (unique keys make the reference unique,
+  so the match must be exact);
+* ``Redistributor.redistribute`` on real particles, compared against the
+  from-scratch ``ParticlePartitioner.distribute`` on copies of the same
+  drifted sets (duplicate cell keys allow tied particles to permute, so
+  the comparison canonicalizes rows by ``(key, id)``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePartitioner, Redistributor
+from repro.core.incremental_sort import BucketState, bucket_incremental_sort
+from repro.core.load_balance import order_maintaining_balance
+from repro.machine import MachineModel, VirtualMachine
+from repro.mesh import Grid2D
+from repro.mesh.decomposition import balanced_splits
+from repro.particles import uniform_plasma
+
+
+def _build_states(keys, payloads, nbuckets):
+    return [BucketState.build(k, m, nbuckets) for k, m in zip(keys, payloads)]
+
+
+def _reference_sort(keys, payloads, p):
+    """From-scratch reference: global stable sort + balanced split."""
+    all_keys = np.concatenate(keys)
+    all_pay = np.concatenate(payloads)
+    order = np.argsort(all_keys, kind="stable")
+    all_keys = all_keys.take(order)
+    all_pay = all_pay.take(order, axis=0)
+    bounds = balanced_splits(all_keys.shape[0], p)
+    return (
+        [all_keys[bounds[r] : bounds[r + 1]] for r in range(p)],
+        [all_pay[bounds[r] : bounds[r + 1]] for r in range(p)],
+    )
+
+
+def _incremental_epoch(vm, states, new_keys, nbuckets):
+    keys_out, payloads_out, stats = bucket_incremental_sort(vm, states, new_keys)
+    keys_bal, payloads_bal = order_maintaining_balance(vm, keys_out, payloads_out)
+    return keys_bal, payloads_bal, stats
+
+
+class TestKeyLevelDifferential:
+    """Unique keys: the reference is unique, so equality must be exact."""
+
+    @pytest.mark.parametrize("p", [2, 3, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_multi_epoch_random_drift(self, p, seed):
+        rng = np.random.default_rng(seed)
+        n = 40 * p
+        nbuckets = 4
+        vm = VirtualMachine(p, MachineModel.cm5())
+
+        # Epoch 0: a sorted balanced distribution of a random permutation
+        # of the key universe.
+        universe = np.sort(rng.choice(10 * n, size=n, replace=False)).astype(np.int64)
+        bounds = balanced_splits(n, p)
+        keys = [universe[bounds[r] : bounds[r + 1]] for r in range(p)]
+        ids = np.arange(n, dtype=np.float64).reshape(-1, 1)
+        payloads = [ids[bounds[r] : bounds[r + 1]] for r in range(p)]
+        states = _build_states(keys, payloads, nbuckets)
+
+        for _ in range(5):
+            # Drift: permute a random subset of the key values, keeping
+            # them unique (each element keeps its payload row).
+            flat = np.concatenate([s.keys for s in states])
+            moved = rng.random(n) < 0.3
+            shuffled = flat.copy()
+            shuffled[moved] = rng.permutation(flat[moved])
+            offs = np.concatenate([[0], np.cumsum([s.n for s in states])])
+            new_keys = [shuffled[offs[r] : offs[r + 1]] for r in range(p)]
+
+            ref_keys, ref_pay = _reference_sort(
+                new_keys, [s.payload for s in states], p
+            )
+            out_keys, out_pay, _ = _incremental_epoch(vm, states, new_keys, nbuckets)
+
+            for r in range(p):
+                np.testing.assert_array_equal(out_keys[r], ref_keys[r])
+                np.testing.assert_array_equal(out_pay[r], ref_pay[r])
+                # Rebuilt bucket boundaries match a from-scratch build.
+                got = BucketState.build(out_keys[r], out_pay[r], nbuckets)
+                want = BucketState.build(ref_keys[r], ref_pay[r], nbuckets)
+                np.testing.assert_array_equal(got.bucket_offsets, want.bucket_offsets)
+                np.testing.assert_array_equal(got.bucket_lows, want.bucket_lows)
+                np.testing.assert_array_equal(got.bucket_highs, want.bucket_highs)
+            states = _build_states(out_keys, out_pay, nbuckets)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_no_movement_epoch(self, p):
+        """Identical keys: nothing crosses a rank, output == input."""
+        n = 24 * p
+        vm = VirtualMachine(p, MachineModel.cm5())
+        universe = np.arange(0, 2 * n, 2, dtype=np.int64)
+        bounds = balanced_splits(n, p)
+        keys = [universe[bounds[r] : bounds[r + 1]] for r in range(p)]
+        payloads = [np.arange(n, dtype=np.float64).reshape(-1, 1)[bounds[r] : bounds[r + 1]] for r in range(p)]
+        states = _build_states(keys, payloads, 3)
+
+        out_keys, out_pay, stats = _incremental_epoch(vm, states, keys, 3)
+        assert stats.moved_rank == 0
+        assert stats.moved_bucket == 0
+        assert stats.same_bucket == n
+        for r in range(p):
+            np.testing.assert_array_equal(out_keys[r], keys[r])
+            np.testing.assert_array_equal(out_pay[r], payloads[r])
+
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_all_off_rank_epoch(self, p):
+        """Rotate every rank's keys to the next rank: 100% off-rank
+        traffic must still reproduce the from-scratch sort."""
+        n = 16 * p
+        vm = VirtualMachine(p, MachineModel.cm5())
+        universe = np.arange(n, dtype=np.int64)
+        bounds = balanced_splits(n, p)
+        keys = [universe[bounds[r] : bounds[r + 1]] for r in range(p)]
+        payloads = [100.0 + universe.astype(np.float64).reshape(-1, 1)[bounds[r] : bounds[r + 1]] for r in range(p)]
+        states = _build_states(keys, payloads, 4)
+
+        new_keys = [keys[(r + 1) % p] for r in range(p)]
+        ref_keys, ref_pay = _reference_sort(new_keys, payloads, p)
+        out_keys, out_pay, stats = _incremental_epoch(vm, states, new_keys, 4)
+        assert stats.moved_rank == n
+        assert stats.same_bucket == 0
+        for r in range(p):
+            np.testing.assert_array_equal(out_keys[r], ref_keys[r])
+            np.testing.assert_array_equal(out_pay[r], ref_pay[r])
+
+
+class TestRedistributorDifferential:
+    """Particle-level: incremental vs from-scratch on the same drifts."""
+
+    @staticmethod
+    def _canonical(partitioner, particles):
+        """Global matrix sorted by (key, id) — the unique canonical form
+        shared by every correct sorted-balanced distribution."""
+        rows = []
+        for parts in particles:
+            keys = partitioner.particle_keys(parts)
+            mat = parts.to_matrix()
+            rows.append((keys, mat))
+        keys = np.concatenate([k for k, _ in rows])
+        mat = np.concatenate([m for _, m in rows])
+        ids = np.round(mat[:, -1]).astype(np.int64)
+        order = np.lexsort((ids, keys))
+        return keys.take(order), mat.take(order, axis=0)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    @pytest.mark.parametrize("scheme", ["hilbert", "rowmajor"])
+    def test_multi_epoch_drift_matches_full(self, p, scheme):
+        rng = np.random.default_rng(11)
+        grid = Grid2D(16, 12)
+        partitioner = ParticlePartitioner(grid, scheme)
+        particles = uniform_plasma(grid, 60 * p, rng=5)
+        local = partitioner.initial_partition(particles, p)
+
+        vm = VirtualMachine(p, MachineModel.cm5())
+        redist = Redistributor(partitioner, nbuckets=8)
+        res = redist.initialize(vm, local)
+        current = res.particles
+
+        for _ in range(4):
+            # Random drift applied identically to both pipelines.
+            for parts in current:
+                parts.x, parts.y = grid.wrap_positions(
+                    parts.x + rng.normal(0, 1.5, parts.n),
+                    parts.y + rng.normal(0, 1.5, parts.n),
+                )
+            snapshot = [parts.copy() for parts in current]
+
+            inc = redist.redistribute(vm, current)
+            vm_full = VirtualMachine(p, MachineModel.cm5())
+            full = partitioner.distribute(vm_full, snapshot)
+
+            # Rank assignment: same per-rank counts and per-rank sorted
+            # key sequences (forced identical up to key ties).
+            inc_counts = [parts.n for parts in inc.particles]
+            full_counts = [parts.n for parts in full]
+            assert inc_counts == full_counts
+            for r in range(p):
+                np.testing.assert_array_equal(
+                    partitioner.particle_keys(inc.particles[r]),
+                    partitioner.particle_keys(full[r]),
+                )
+            # Full contents agree after canonicalizing key ties.
+            ik, im = self._canonical(partitioner, inc.particles)
+            fk, fm = self._canonical(partitioner, full)
+            np.testing.assert_array_equal(ik, fk)
+            np.testing.assert_array_equal(im, fm)
+            current = inc.particles
