@@ -64,6 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--vth", type=float, default=0.05)
     run.add_argument("--field-solver", default="maxwell", choices=["maxwell", "electrostatic"])
+    run.add_argument("--engine", default="flat", choices=["flat", "looped"],
+                     help="execution engine: pooled flat-rank kernels or per-rank loops")
     run.add_argument("--kernel", default="era", choices=["era", "modern"],
                      help="era = paper's CIC + collocated FDTD; modern = Yee + zigzag")
     run.add_argument("--json", action="store_true",
@@ -129,6 +131,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         ghost_table=args.ghost_table,
         field_solver=args.field_solver,
         kernel=args.kernel,
+        engine=args.engine,
         seed=args.seed,
         vth=args.vth,
     )
@@ -155,7 +158,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
             ("scheme", "scheme"), ("policy", "policy"), ("movement", "movement"),
             ("partitioning", "partitioning"), ("ghost_table", "ghost_table"),
             ("field_solver", "field_solver"), ("kernel", "kernel"),
-            ("seed", "seed"), ("vth", "vth"),
+            ("engine", "engine"), ("seed", "seed"), ("vth", "vth"),
         ):
             value = getattr(args, cli_name)
             if value != getattr(defaults, cli_name):

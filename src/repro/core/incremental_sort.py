@@ -154,31 +154,51 @@ def bucket_incremental_sort(
     uppers = np.maximum.accumulate(uppers)
     splitters = uppers[: p - 1]
 
+    # Classification (Fig 12 lines 8-19), pooled: every rank's new keys
+    # are concatenated into one flat array with segment offsets and the
+    # searchsorted / bucket-range tests run once over the pool instead of
+    # p times.  The charged per-rank op counts are computed from the same
+    # formula on bincount tallies, so accounting is identical to the
+    # per-rank loop this replaces.
     stats = IncrementalSortStats()
+    per_rank_keys: list[np.ndarray] = []
+    for r in range(p):
+        keys_r = np.asarray(new_keys[r])
+        require(keys_r.shape[0] == states[r].n, f"rank {r}: new_keys length mismatch")
+        per_rank_keys.append(keys_r)
+    counts = np.array([state.n for state in states], dtype=np.int64)
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    keys_all = np.concatenate(per_rank_keys)
+    rank_of = np.repeat(np.arange(p, dtype=np.int64), counts)
+    dest_all = np.searchsorted(splitters, keys_all, side="left").astype(np.int64)
+    off_all = dest_all != rank_of
+    lows_all = np.concatenate([state.elem_lows for state in states])
+    highs_all = np.concatenate([state.elem_highs for state in states])
+    same_all = ~off_all & (keys_all >= lows_all) & (keys_all <= highs_all)
+    n_off_arr = np.bincount(rank_of[off_all], minlength=p).astype(np.int64)
+    n_same_arr = np.bincount(rank_of[same_all], minlength=p).astype(np.int64)
+    n_moved_arr = counts - n_off_arr - n_same_arr
+    nb_arr = np.maximum([state.nbuckets for state in states], 2)
+    stats.same_bucket = int(n_same_arr.sum())
+    stats.moved_bucket = int(n_moved_arr.sum())
+    stats.moved_rank = int(n_off_arr.sum())
+    class_ops = (
+        n_same_arr.astype(float)
+        + n_moved_arr.astype(float) * np.log2(nb_arr)
+        + n_off_arr.astype(float) * np.log2(max(p, 2))
+    )
+
     kept_keys: list[np.ndarray] = []
     kept_payloads: list[np.ndarray] = []
     send_keys: list[np.ndarray] = []
     send_payloads: list[np.ndarray] = []
     send_dests: list[np.ndarray] = []
-    class_ops = np.zeros(p)
     for r in range(p):
         state = states[r]
-        keys = np.asarray(new_keys[r])
-        require(keys.shape[0] == state.n, f"rank {r}: new_keys length mismatch")
-        dest = np.searchsorted(splitters, keys, side="left").astype(np.int64)
-        off = dest != r
-        n_off = int(np.count_nonzero(off))
-        same_bucket = ~off & (keys >= state.elem_lows) & (keys <= state.elem_highs)
-        n_same = int(np.count_nonzero(same_bucket))
-        n_moved = state.n - n_off - n_same
-        nb = max(state.nbuckets, 2)
-        stats.same_bucket += n_same
-        stats.moved_bucket += n_moved
-        stats.moved_rank += n_off
-        class_ops[r] = (
-            float(n_same) + float(n_moved) * np.log2(nb) + float(n_off) * np.log2(max(p, 2))
-        )
-        if n_off:
+        keys = per_rank_keys[r]
+        off = off_all[offsets[r] : offsets[r + 1]]
+        dest = dest_all[offsets[r] : offsets[r + 1]]
+        if n_off_arr[r]:
             off_idx = np.flatnonzero(off)
             keep_idx = np.flatnonzero(~off)
             kept_keys.append(keys.take(keep_idx))

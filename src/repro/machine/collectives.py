@@ -8,6 +8,11 @@ algorithms share:
 * :func:`exchange_by_destination` — split a per-rank array by a
   destination map and deliver the pieces (one call = the paper's
   ``All-to-many_COMM`` on a send-list table).
+* :func:`exchange_by_destination_pooled` — the same exchange driven from
+  one flat pool of rows with segment offsets instead of ``p`` per-rank
+  arrays: a single stable ``argsort`` over ``src * p + dest`` keys
+  replaces the per-rank sorts, producing byte-identical messages (and
+  therefore identical machine statistics and charges).
 * :func:`halo_sendrecv` — neighbour exchange for field halos.
 """
 
@@ -18,7 +23,12 @@ import numpy as np
 from repro.machine.virtual import VirtualMachine
 from repro.util import require
 
-__all__ = ["alltoall_concat", "exchange_by_destination", "halo_sendrecv"]
+__all__ = [
+    "alltoall_concat",
+    "exchange_by_destination",
+    "exchange_by_destination_pooled",
+    "halo_sendrecv",
+]
 
 
 def alltoall_concat(
@@ -81,6 +91,60 @@ def exchange_by_destination(
             for i, d in enumerate(uniq):
                 chunks[int(d)] = sorted_arr[bounds[i] : bounds[i + 1]]
         send.append(chunks)
+    return alltoall_concat(vm, send)
+
+
+def exchange_by_destination_pooled(
+    vm: VirtualMachine,
+    rows: np.ndarray,
+    destinations: np.ndarray,
+    offsets: np.ndarray,
+) -> list[np.ndarray]:
+    """Pooled form of :func:`exchange_by_destination`.
+
+    Parameters
+    ----------
+    rows:
+        ``(n, ...)`` pooled payload rows, rank-segment ordered: rank
+        ``r``'s rows are ``rows[offsets[r]:offsets[r + 1]]``.
+    destinations:
+        int64 destination rank per row, aligned with ``rows``.
+    offsets:
+        Segment boundaries, length ``vm.p + 1``.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        Per destination rank, the received rows concatenated in
+        source-rank order (stable within a source) — exactly what
+        :func:`exchange_by_destination` returns for the equivalent
+        per-rank inputs, with identical messages on the machine.
+    """
+    rows = np.asarray(rows)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    require(offsets.shape[0] == vm.p + 1, "offsets must have p + 1 entries")
+    require(
+        rows.shape[0] == destinations.shape[0] == offsets[-1],
+        "rows/destinations must cover the pooled segments",
+    )
+    if destinations.size and (destinations.min() < 0 or destinations.max() >= vm.p):
+        raise ValueError(f"destination out of range [0, {vm.p})")
+    send: list[dict[int, np.ndarray]] = [dict() for _ in range(vm.p)]
+    if destinations.size:
+        src = np.repeat(np.arange(vm.p, dtype=np.int64), np.diff(offsets))
+        # One stable sort over (src, dest) keys: within a source segment
+        # every key shares the src term, so the order among that source's
+        # rows matches the per-rank stable sort by destination alone.
+        key = src * vm.p + destinations
+        order = np.argsort(key, kind="stable")
+        sorted_key = key.take(order)
+        sorted_rows = rows.take(order, axis=0)
+        uniq, starts = np.unique(sorted_key, return_index=True)
+        bounds = np.append(starts, key.size)
+        for i, k in enumerate(uniq):
+            s, d = divmod(int(k), vm.p)
+            send[s][d] = sorted_rows[bounds[i] : bounds[i + 1]]
     return alltoall_concat(vm, send)
 
 

@@ -6,7 +6,7 @@ mass, weight, persistent ids) with a dense-matrix wire format for
 communication through the virtual machine.
 """
 
-from repro.particles.arrays import ParticleArray
+from repro.particles.arrays import ParticleArray, ParticlePool
 from repro.particles.init import (
     gaussian_blob,
     ring_distribution,
@@ -17,6 +17,7 @@ from repro.particles.sort import local_sort_by_keys, parallel_sample_sort, regul
 
 __all__ = [
     "ParticleArray",
+    "ParticlePool",
     "uniform_plasma",
     "gaussian_blob",
     "two_stream",

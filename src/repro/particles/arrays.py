@@ -7,6 +7,14 @@ persistent ``ids`` field used to verify that redistribution permutes but
 never loses particles).  The dense ``(n, 9)`` matrix form is the wire
 format for migration through the virtual machine: ids ride in a float64
 column, exact up to 2**53 particles.
+
+:class:`ParticlePool` concatenates all ranks' particles into one SoA
+with per-rank segment offsets — the storage layout of the flat-rank
+execution engine (see ``DESIGN.md``), where every PIC phase runs as one
+vectorized pass over the pool and per-rank results are recovered by
+slicing at segment boundaries.  ``pool.views[r]`` are zero-copy slice
+views of the pooled arrays, so in-place kernels (the Boris push) update
+the per-rank sets and the pool simultaneously.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ import numpy as np
 
 from repro.util import require
 
-__all__ = ["ParticleArray"]
+__all__ = ["ParticleArray", "ParticlePool"]
 
 #: Transport-matrix column order.
 MATRIX_COLUMNS = ("x", "y", "ux", "uy", "uz", "q", "m", "w", "ids")
@@ -97,6 +105,12 @@ class ParticleArray:
         idx = np.asarray(idx)
         return ParticleArray(*(getattr(self, name)[idx] for name in self.__slots__))
 
+    def slice_view(self, start: int, stop: int) -> "ParticleArray":
+        """Zero-copy view of particles ``[start, stop)`` (shared memory)."""
+        return ParticleArray(
+            *(getattr(self, name)[start:stop] for name in self.__slots__)
+        )
+
     def sorted_by(self, keys: np.ndarray) -> "ParticleArray":
         """Return a copy stably sorted by ``keys``."""
         keys = np.asarray(keys)
@@ -147,3 +161,94 @@ class ParticleArray:
 
     def __repr__(self) -> str:
         return f"ParticleArray(n={self.n})"
+
+
+class ParticlePool:
+    """All ranks' particles in one :class:`ParticleArray` with segment offsets.
+
+    Attributes
+    ----------
+    array:
+        The pooled particles, rank-segment ordered: rank ``r`` owns rows
+        ``[offsets[r], offsets[r+1])``.
+    offsets:
+        int64 segment boundaries, length ``p + 1`` with ``offsets[0] == 0``
+        and ``offsets[-1] == array.n``.
+    views:
+        Per-rank zero-copy :meth:`ParticleArray.slice_view` windows into
+        ``array`` — mutating a view mutates the pool and vice versa.
+    """
+
+    __slots__ = ("array", "offsets", "views", "_rank_of")
+
+    def __init__(self, array: ParticleArray, offsets: np.ndarray) -> None:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        require(offsets.ndim == 1 and offsets.shape[0] >= 2, "offsets must be 1-D, length >= 2")
+        require(offsets[0] == 0, "offsets must start at 0")
+        require(offsets[-1] == array.n, "offsets must end at the pool size")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        self.array = array
+        self.offsets = offsets
+        self.views = [
+            array.slice_view(int(offsets[r]), int(offsets[r + 1]))
+            for r in range(offsets.shape[0] - 1)
+        ]
+        self._rank_of: np.ndarray | None = None
+
+    @classmethod
+    def from_ranks(cls, parts: list[ParticleArray]) -> "ParticlePool":
+        """Pool per-rank particle sets (one concatenation copy)."""
+        counts = np.array([p.n for p in parts], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        return cls(ParticleArray.concat(parts), offsets)
+
+    @classmethod
+    def from_matrices(cls, matrices: list[np.ndarray]) -> "ParticlePool":
+        """Pool per-rank transport matrices (the migration receive path)."""
+        ncols = len(MATRIX_COLUMNS)
+        mats = [np.asarray(m, dtype=np.float64).reshape(-1, ncols) for m in matrices]
+        counts = np.array([m.shape[0] for m in mats], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        stacked = (
+            np.concatenate(mats) if mats else np.empty((0, ncols))
+        )
+        return cls(ParticleArray.from_matrix(stacked), offsets)
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of rank segments."""
+        return len(self.views)
+
+    @property
+    def n(self) -> int:
+        """Total pooled particles."""
+        return self.array.n
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-rank particle counts (int64, length ``p``)."""
+        return np.diff(self.offsets)
+
+    def rank_of_particles(self) -> np.ndarray:
+        """Owning rank of every pooled row (cached)."""
+        if self._rank_of is None:
+            self._rank_of = np.repeat(
+                np.arange(self.p, dtype=np.int64), self.counts
+            )
+        return self._rank_of
+
+    def owns(self, particles: list[ParticleArray]) -> bool:
+        """True when ``particles`` are exactly this pool's views.
+
+        The flat engine uses this identity check to detect external
+        replacement of a stepper's per-rank particle lists (e.g. by the
+        redistributor) and rebuild the pool lazily.
+        """
+        return len(particles) == self.p and all(
+            particles[r] is self.views[r] for r in range(self.p)
+        )
+
+    def __repr__(self) -> str:
+        return f"ParticlePool(p={self.p}, n={self.n})"

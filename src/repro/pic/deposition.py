@@ -7,6 +7,14 @@ bilinear weights (the paper's Figure 3 ``Scatter()``), vectorized with
 The entry-list form (:func:`deposition_entries`) is shared with the
 parallel scatter, which must split entries into on-rank accumulation and
 off-rank *ghost* contributions before communicating.
+
+The flat-rank engine runs deposition once over *all* ranks' pooled
+particles: :func:`segmented_entry_ranks` labels each flattened entry
+with its depositing rank, and :func:`pooled_duplicate_removal` performs
+every rank's ghost-table duplicate removal in a single pass by keying
+entries with rank-offset node ids (``node + rank * nnodes``) and summing
+duplicates with one ``unique``/``bincount`` — per-rank results come back
+as contiguous segments of the sorted unique keys.
 """
 
 from __future__ import annotations
@@ -16,7 +24,13 @@ import numpy as np
 from repro.mesh.grid import Grid2D
 from repro.particles.arrays import ParticleArray
 
-__all__ = ["deposition_entries", "accumulate_entries", "deposit_charge_current"]
+__all__ = [
+    "deposition_entries",
+    "accumulate_entries",
+    "deposit_charge_current",
+    "segmented_entry_ranks",
+    "pooled_duplicate_removal",
+]
 
 #: Deposited source channels, in the order of the values matrix rows.
 CHANNELS = ("rho", "jx", "jy", "jz")
@@ -88,6 +102,75 @@ def accumulate_entries(
     for c in range(len(CHANNELS)):
         out[c] = np.bincount(flat_nodes, weights=values[c].ravel(), minlength=nnodes)
     return out
+
+
+def segmented_entry_ranks(counts: np.ndarray) -> np.ndarray:
+    """Depositing rank of each flattened CIC entry of a pooled array.
+
+    A pooled particle array is rank-segment ordered, and each particle
+    contributes 4 entries in ``nodes.ravel()`` order, so rank ``r``'s
+    entries occupy the contiguous slice ``[4 * offsets[r], 4 *
+    offsets[r + 1])``.
+
+    Parameters
+    ----------
+    counts:
+        Per-rank particle counts (length ``p``).
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 rank label per entry, length ``4 * counts.sum()``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.repeat(np.arange(counts.shape[0], dtype=np.int64), 4 * counts)
+
+
+def pooled_duplicate_removal(
+    nnodes: int,
+    p: int,
+    entry_ranks: np.ndarray,
+    nodes: np.ndarray,
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All ranks' ghost duplicate removal in one vectorized pass.
+
+    Keys every (rank, node) pair as ``rank * nnodes + node``, finds the
+    sorted unique keys, and sums each channel's duplicate contributions
+    with one ``bincount`` over the inverse map.  Because entries arrive
+    in pool (rank-segment) order, the per-key sums accumulate in exactly
+    the order each rank's own ghost table would have used — the summed
+    values are bit-identical to per-rank ``accumulate`` + ``flush``.
+
+    Parameters
+    ----------
+    nnodes:
+        Global node count (the rank-offset stride).
+    p:
+        Number of ranks.
+    entry_ranks, nodes:
+        int64 depositing rank and target node per entry (flat, aligned).
+    values:
+        ``(nchannels, nentries)`` deposited amounts.
+
+    Returns
+    -------
+    (uniq_nodes, uniq_owner_segments, summed, seg):
+        ``uniq_nodes`` — node ids of the unique (rank, node) pairs,
+        sorted by rank then node; ``uniq_ranks`` — depositing rank per
+        unique pair; ``summed`` — ``(nchannels, u)`` coalesced values;
+        ``seg`` — length ``p + 1`` boundaries such that rank ``r``'s
+        unique entries are ``[seg[r], seg[r + 1])``.
+    """
+    combined = entry_ranks * np.int64(nnodes) + nodes
+    uniq, inverse = np.unique(combined, return_inverse=True)
+    nchannels = values.shape[0]
+    summed = np.empty((nchannels, uniq.size))
+    for c in range(nchannels):
+        summed[c] = np.bincount(inverse, weights=values[c], minlength=uniq.size)
+    uniq_ranks, uniq_nodes = np.divmod(uniq, np.int64(nnodes))
+    seg = np.searchsorted(uniq, np.arange(p + 1, dtype=np.int64) * np.int64(nnodes))
+    return uniq_nodes, uniq_ranks, summed, seg
 
 
 def deposit_charge_current(

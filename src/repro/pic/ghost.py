@@ -71,6 +71,20 @@ class GhostTable(ABC):
         ``summed_values`` is ``(nchannels, u)``.
         """
 
+    @abstractmethod
+    def account_pooled(self, n_entries: int, n_unique: int) -> float:
+        """Record one accumulate+flush epoch performed *outside* the table.
+
+        The flat-rank engine deduplicates all ranks' ghost entries in one
+        pooled pass (rank-offset node keys + a single ``unique``/
+        ``bincount``), bypassing the per-rank tables — but the virtual
+        machine's accounting must stay byte-identical to the looped
+        engine.  This method applies exactly the ``stats`` updates that
+        ``accumulate(<n_entries entries>)`` followed by ``flush()``
+        (yielding ``n_unique`` nodes) would have applied, and returns the
+        op-count delta the looped scatter would charge for the epoch.
+        """
+
     def _check(self, nodes: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         nodes = np.asarray(nodes, dtype=np.int64).ravel()
         values = np.asarray(values, dtype=np.float64)
@@ -111,6 +125,13 @@ class DirectAddressTable(GhostTable):
         self._acc.fill(0.0)
         self._touched.fill(False)
         return uniq, summed
+
+    def account_pooled(self, n_entries: int, n_unique: int) -> float:
+        self.stats.entries += int(n_entries)
+        ops = float(n_entries)  # one direct store per entry
+        self.stats.ops += ops
+        self.stats.unique_nodes = int(n_unique)
+        return ops
 
 
 class HashGhostTable(GhostTable):
@@ -157,6 +178,16 @@ class HashGhostTable(GhostTable):
         self._pending_nodes.clear()
         self._pending_values.clear()
         return uniq, summed
+
+    def account_pooled(self, n_entries: int, n_unique: int) -> float:
+        self.stats.entries += int(n_entries)
+        ops = 3.0 * n_entries  # expected probes per insert
+        self.stats.ops += ops
+        self.stats.unique_nodes = int(n_unique)
+        self.stats.memory_slots = max(
+            self.stats.memory_slots, int(n_unique * (self.nchannels + 1) / 0.7)
+        )
+        return ops
 
 
 def make_ghost_table(kind: str, nnodes: int, nchannels: int = 4) -> GhostTable:

@@ -23,6 +23,28 @@ ownership semantics: every value a rank reads across a subdomain
 boundary is *physically communicated* first, and the integration tests
 assert that the received buffers equal the owners' data and that the
 whole parallel run matches :class:`repro.pic.sequential.SequentialPIC`.
+
+Execution engines
+-----------------
+Two engines drive the SPMD phases:
+
+* ``engine="flat"`` (default) — the **pooled flat-rank engine**: all
+  ranks' particles live in one :class:`~repro.particles.arrays.ParticlePool`
+  with segment offsets, and scatter / gather / push / Eulerian migration
+  each run as *single* vectorized NumPy passes over the pool (segmented
+  duplicate removal via rank-offset node keys, one pooled owner/ghost
+  split, one Boris push).  Per-rank results are recovered by slicing at
+  segment boundaries.
+* ``engine="looped"`` — the reference per-rank implementation: every
+  phase iterates ``for r in range(p)`` and calls the kernels on that
+  rank's arrays, exactly as a real SPMD program would.
+
+The two engines are **accounting-invariant**: they charge the same
+per-rank op counts in the same order and move byte-identical messages,
+so ``vm.elapsed()``, ``vm.ops``, and all communication statistics agree
+exactly — only host wall-clock differs (the flat engine removes the
+O(p) Python interpreter overhead per phase).  ``tests/test_engine_parity.py``
+pins this contract.
 """
 
 from __future__ import annotations
@@ -33,15 +55,23 @@ from repro.machine.virtual import VirtualMachine
 from repro.mesh.decomposition import MeshDecomposition
 from repro.mesh.fields import FieldState
 from repro.mesh.halo import HaloSchedule
-from repro.particles.arrays import ParticleArray
-from repro.pic.deposition import CHANNELS, deposition_entries
+from repro.particles.arrays import ParticleArray, ParticlePool
+from repro.pic.deposition import (
+    CHANNELS,
+    deposition_entries,
+    pooled_duplicate_removal,
+    segmented_entry_ranks,
+)
 from repro.pic.ghost import make_ghost_table
 from repro.pic.interpolation import gather_from_node_values
 from repro.pic.maxwell import MaxwellSolver
 from repro.pic.poisson import PoissonSolver
 from repro.pic.push import boris_push
 from repro.pic.smoothing import binomial_smooth
-from repro.machine.collectives import exchange_by_destination
+from repro.machine.collectives import (
+    exchange_by_destination,
+    exchange_by_destination_pooled,
+)
 from repro.util import require
 
 __all__ = ["ParallelPIC"]
@@ -79,6 +109,16 @@ class ParallelPIC:
         row/column transpose is physically exchanged through the
         machine — the global-communication pattern of the
         replicated-mesh codes the paper contrasts against).
+    engine:
+        ``"flat"`` (pooled single-pass kernels, the default) or
+        ``"looped"`` (per-rank reference loops).  Both produce identical
+        virtual-machine accounting; see the module docstring.
+    collect_debug:
+        When True, retain the most recent halo / gather deliveries in
+        ``last_halo`` / ``last_gather_messages`` for tests that verify
+        communicated values equal the owners' data.  Off by default so
+        benchmarks and long runs do not hold per-step communication
+        buffers alive.
     """
 
     def __init__(
@@ -93,6 +133,8 @@ class ParallelPIC:
         movement: str = "lagrangian",
         smoothing_passes: int = 1,
         field_solver: str = "maxwell",
+        engine: str = "flat",
+        collect_debug: bool = False,
     ) -> None:
         require(len(local_particles) == vm.p, "need one particle set per rank")
         require(decomp.p == vm.p, "decomposition and machine rank counts differ")
@@ -102,6 +144,7 @@ class ParallelPIC:
             field_solver in ("maxwell", "electrostatic"),
             f"unknown field_solver {field_solver!r}",
         )
+        require(engine in ("looped", "flat"), f"unknown engine {engine!r}")
         self.smoothing_passes = smoothing_passes
         self.field_solver = field_solver
         self.vm = vm
@@ -109,6 +152,8 @@ class ParallelPIC:
         self.decomp = decomp
         self.particles = list(local_particles)
         self.movement = movement
+        self.engine = engine
+        self.collect_debug = collect_debug
         self.fields = FieldState.zeros(grid)
         self.solver = MaxwellSolver(grid)
         self.poisson = PoissonSolver(grid) if field_solver == "electrostatic" else None
@@ -130,16 +175,57 @@ class ParallelPIC:
         # gather), so the gather reuses the scatter's vertex evaluation
         # instead of recomputing it; the cache is dropped once consumed.
         self._cic_cache: list[tuple[ParticleArray, np.ndarray, np.ndarray]] | None = None
-        # Test hooks: the most recent halo / gather deliveries, for
-        # verifying that communicated values equal the owners' data.
+        # Flat-engine state: the particle pool (lazily rebuilt whenever
+        # self.particles is replaced from outside, e.g. by the
+        # redistributor) and the pooled CIC cache of the latest scatter.
+        self._pool: ParticlePool | None = None
+        self._cic_pool_cache: tuple[ParticlePool, np.ndarray, np.ndarray] | None = None
+        # Test hooks (populated only when collect_debug=True): the most
+        # recent halo / gather deliveries, for verifying that
+        # communicated values equal the owners' data.
         self.last_halo: list[dict[int, np.ndarray]] = []
         self.last_gather_messages: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+
+    # ------------------------------------------------------------------
+    # flat-engine pool management
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ParticlePool:
+        """Return the current particle pool, rebuilding it if stale.
+
+        ``self.particles`` is public API: the simulation driver swaps in
+        redistributed particle lists between steps.  The pool is valid
+        only while ``self.particles`` are exactly its segment views, so
+        any external replacement triggers one concatenation rebuild here
+        (O(n) copy — everything downstream is views again).
+        """
+        pool = self._pool
+        if pool is not None and pool.owns(self.particles):
+            return pool
+        pool = ParticlePool.from_ranks(self.particles)
+        self._pool = pool
+        self.particles = list(pool.views)
+        self._cic_pool_cache = None
+        return pool
+
+    def _install_pool(self, pool: ParticlePool) -> None:
+        """Adopt a freshly built pool (post-migration)."""
+        self._pool = pool
+        self.particles = list(pool.views)
+        self._cic_pool_cache = None
 
     # ------------------------------------------------------------------
     # scatter phase
     # ------------------------------------------------------------------
     def scatter(self) -> None:
         """Deposit rho and J with ghost-point communication."""
+        if self.engine == "flat":
+            acc = self._scatter_flat()
+        else:
+            acc = self._scatter_looped()
+        self._finish_scatter(acc)
+
+    def _scatter_looped(self) -> np.ndarray:
+        """Per-rank reference scatter; returns the accumulated channels."""
         vm = self.vm
         grid = self.grid
         nnodes = grid.nnodes
@@ -205,6 +291,113 @@ class ParallelPIC:
 
         self._ghost_nodes = ghost_nodes
         self._cic_cache = cic_cache
+        return acc
+
+    def _scatter_flat(self) -> np.ndarray:
+        """Pooled scatter: one vectorized pass over all ranks' particles.
+
+        Identical accounting to :meth:`_scatter_looped`: the same op
+        counts are charged in the same order and every exchanged message
+        carries byte-identical (ids, values) payloads — the pooled
+        duplicate removal reproduces each rank's ghost-table output
+        bit-for-bit (entries stay in per-rank order inside the pool).
+        """
+        vm = self.vm
+        grid = self.grid
+        nnodes = grid.nnodes
+        p = vm.p
+        nchannels = len(CHANNELS)
+        pool = self._ensure_pool()
+        counts = pool.counts
+        acc = np.zeros((nchannels, nnodes))
+        sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [dict() for _ in range(p)]
+        ghost_nodes: list[dict[int, np.ndarray]] = [dict() for _ in range(p)]
+        with vm.phase("scatter"):
+            vertices = grid.cic_vertices_weights(pool.array.x, pool.array.y)
+            self._cic_pool_cache = (pool, vertices[0], vertices[1])
+            nodes, values = deposition_entries(grid, pool.array, vertices)
+            flat_nodes = nodes.ravel()
+            flat_values = values.reshape(nchannels, -1)
+            entry_rank = segmented_entry_ranks(counts)
+            owners = self.node_owner[flat_nodes]
+            ghost = owners != entry_rank
+            ghost_idx = np.flatnonzero(ghost)
+            if ghost_idx.size:
+                mine_idx = np.flatnonzero(~ghost)
+                nodes_mine = flat_nodes.take(mine_idx)
+                values_mine = flat_values.take(mine_idx, axis=1)
+            else:
+                nodes_mine = flat_nodes
+                values_mine = flat_values
+            # On-rank contributions of every rank in one accumulation.
+            for c in range(nchannels):
+                acc[c] += np.bincount(nodes_mine, weights=values_mine[c], minlength=nnodes)
+
+            table_ops = np.zeros(p)
+            if ghost_idx.size:
+                # All ranks' duplicate removal in one segmented pass.
+                g_ranks = entry_rank.take(ghost_idx)
+                g_nodes = flat_nodes.take(ghost_idx)
+                g_values = flat_values.take(ghost_idx, axis=1)
+                uniq_nodes, _, summed, seg = pooled_duplicate_removal(
+                    nnodes, p, g_ranks, g_nodes, g_values
+                )
+                entries_per_rank = np.bincount(g_ranks, minlength=p)
+                uniq_per_rank = np.diff(seg)
+                for r in np.flatnonzero(entries_per_rank):
+                    table_ops[r] = self.ghost_tables[r].account_pooled(
+                        int(entries_per_rank[r]), int(uniq_per_rank[r])
+                    )
+                # Coalesce into one message per (source, owner): a stable
+                # sort by owner within each rank segment keeps node ids
+                # ascending inside every message, as the looped engine's
+                # per-owner masking does.
+                uniq_owner = self.node_owner[uniq_nodes]
+                src_of_uniq = np.repeat(np.arange(p, dtype=np.int64), uniq_per_rank)
+                msg_key = src_of_uniq * p + uniq_owner
+                order = np.argsort(msg_key, kind="stable")
+                ids_sorted = uniq_nodes.take(order)
+                vals_sorted = summed.take(order, axis=1)
+                msg_uniq, msg_starts = np.unique(msg_key.take(order), return_index=True)
+                msg_bounds = np.append(msg_starts, msg_key.size)
+                for i, k in enumerate(msg_uniq):
+                    src, owner = divmod(int(k), p)
+                    lo, hi = msg_bounds[i], msg_bounds[i + 1]
+                    ids = np.ascontiguousarray(ids_sorted[lo:hi])
+                    sends[src][owner] = (
+                        ids,
+                        np.ascontiguousarray(vals_sorted[:, lo:hi]),
+                    )
+                    ghost_nodes[src][owner] = ids
+            vm.charge_ops("scatter", 4.0 * counts.astype(float))
+            vm.charge_ops("table", table_ops)
+
+            recv = vm.alltoallv(sends)
+            # Pooled merge: one bincount per channel over every received
+            # message (source-rank order within each destination).
+            merge_ops = np.zeros(p)
+            recv_ids: list[np.ndarray] = []
+            recv_vals: list[np.ndarray] = []
+            for r in range(p):
+                for _, (ids, vals) in sorted(recv[r].items()):
+                    recv_ids.append(ids)
+                    recv_vals.append(vals)
+                    merge_ops[r] += ids.size
+            if recv_ids:
+                ids_cat = np.concatenate(recv_ids)
+                vals_cat = np.concatenate(recv_vals, axis=1)
+                for c in range(nchannels):
+                    acc[c] += np.bincount(ids_cat, weights=vals_cat[c], minlength=nnodes)
+            vm.charge_ops("table", merge_ops)
+
+        self._ghost_nodes = ghost_nodes
+        self._cic_cache = None
+        return acc
+
+    def _finish_scatter(self, acc: np.ndarray) -> None:
+        """Scale, smooth, and install the deposited sources."""
+        vm = self.vm
+        grid = self.grid
         scale = 1.0 / (grid.dx * grid.dy)
         shaped = (acc * scale).reshape(len(CHANNELS), grid.ny, grid.nx)
         k = self.smoothing_passes
@@ -232,7 +425,9 @@ class ParallelPIC:
         vm = self.vm
         with vm.phase("field"):
             node_values = self._field_node_values()
-            self.last_halo = self.halo.exchange(vm, node_values, ncomponents=6)
+            halo_recv = self.halo.exchange(vm, node_values, ncomponents=6)
+            if self.collect_debug:
+                self.last_halo = halo_recv
             vm.charge_ops("field", self.node_counts)
             self.solver.step(self.fields, self.dt)
 
@@ -285,20 +480,32 @@ class ParallelPIC:
     # ------------------------------------------------------------------
     def gather_push(self) -> None:
         """Return ghost-node fields to contributors, interpolate, push."""
+        if self.engine == "flat":
+            self._gather_push_flat()
+        else:
+            self._gather_push_looped()
+
+    def _gather_sends(
+        self, node_values: np.ndarray
+    ) -> list[dict[int, tuple[np.ndarray, np.ndarray]]]:
+        """Inverse of the scatter exchange: owners send E, B at the
+        ghost nodes each contributor registered this iteration."""
+        sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [
+            dict() for _ in range(self.vm.p)
+        ]
+        for r in range(self.vm.p):
+            for owner, ids in self._ghost_nodes[r].items():
+                sends[owner][r] = (ids, np.ascontiguousarray(node_values[:, ids]))
+        return sends
+
+    def _gather_push_looped(self) -> None:
         vm = self.vm
         grid = self.grid
         node_values = self._field_node_values()
         with vm.phase("gather"):
-            # Inverse of the scatter exchange: owners send E, B at the
-            # ghost nodes each contributor registered this iteration.
-            sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [
-                dict() for _ in range(vm.p)
-            ]
-            for r in range(vm.p):
-                for owner, ids in self._ghost_nodes[r].items():
-                    sends[owner][r] = (ids, np.ascontiguousarray(node_values[:, ids]))
-            recv = vm.alltoallv(sends)
-            self.last_gather_messages = recv
+            recv = vm.alltoallv(self._gather_sends(node_values))
+            if self.collect_debug:
+                self.last_gather_messages = recv
             vm.charge_ops("gather", np.array([4.0 * p.n for p in self.particles]))
             cached = self._cic_cache
             self._cic_cache = None  # positions change in the push below
@@ -320,6 +527,37 @@ class ParallelPIC:
         if self.movement == "eulerian":
             self._migrate_eulerian()
 
+    def _gather_push_flat(self) -> None:
+        """Pooled gather + push: one interpolation and one Boris pass.
+
+        The ghost-field exchange is identical to the looped engine (same
+        ``_ghost_nodes`` schedule, same payloads); interpolation and the
+        push are per-particle independent, so running them once over the
+        pool is bit-identical to per-rank execution.
+        """
+        vm = self.vm
+        grid = self.grid
+        pool = self._ensure_pool()
+        node_values = self._field_node_values()
+        with vm.phase("gather"):
+            recv = vm.alltoallv(self._gather_sends(node_values))
+            if self.collect_debug:
+                self.last_gather_messages = recv
+            vm.charge_ops("gather", 4.0 * pool.counts.astype(float))
+            cached = self._cic_pool_cache
+            self._cic_pool_cache = None  # positions change in the push below
+            if cached is not None and cached[0] is pool:
+                nodes, weights = cached[1], cached[2]
+            else:
+                nodes, weights = grid.cic_vertices_weights(pool.array.x, pool.array.y)
+            eb = gather_from_node_values(node_values, nodes, weights)
+        with vm.phase("push"):
+            vm.charge_ops("push", pool.counts.astype(float))
+            if pool.n:
+                boris_push(grid, pool.array, eb[:3], eb[3:], self.dt)
+        if self.movement == "eulerian":
+            self._migrate_eulerian()
+
     def set_decomposition(self, decomp: MeshDecomposition) -> None:
         """Install a new mesh decomposition (adaptive rebalancing).
 
@@ -338,6 +576,12 @@ class ParallelPIC:
 
     def _migrate_eulerian(self) -> None:
         """Move particles to the owner of their (new) cell."""
+        if self.engine == "flat":
+            self._migrate_eulerian_flat()
+        else:
+            self._migrate_eulerian_looped()
+
+    def _migrate_eulerian_looped(self) -> None:
         vm = self.vm
         with vm.phase("migration"):
             payloads = []
@@ -351,6 +595,20 @@ class ParallelPIC:
             vm.charge_ops("index", np.array([float(p.n) for p in self.particles]))
             received = exchange_by_destination(vm, payloads, dests)
             self.particles = [ParticleArray.from_matrix(m) for m in received]
+            self._pool = None
+
+    def _migrate_eulerian_flat(self) -> None:
+        """Pooled Eulerian migration: one owner lookup, one sorted exchange."""
+        vm = self.vm
+        with vm.phase("migration"):
+            pool = self._ensure_pool()
+            parts = pool.array
+            cells = self.grid.cell_id_of_positions(parts.x, parts.y)
+            owner = self.decomp.owner_of_cells(cells)
+            matrix = parts.to_matrix()
+            vm.charge_ops("index", pool.counts.astype(float))
+            received = exchange_by_destination_pooled(vm, matrix, owner, pool.offsets)
+            self._install_pool(ParticlePool.from_matrices(received))
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -375,5 +633,6 @@ class ParallelPIC:
     def __repr__(self) -> str:
         return (
             f"ParallelPIC(p={self.vm.p}, grid={self.grid!r}, "
-            f"n={sum(p.n for p in self.particles)}, movement={self.movement!r})"
+            f"n={sum(p.n for p in self.particles)}, movement={self.movement!r}, "
+            f"engine={self.engine!r})"
         )

@@ -5,6 +5,11 @@ magnetic rotation, half electric kick) in normalized units (c = 1),
 advancing momenta ``u = gamma * v`` and then positions.  The paper's
 push phase has no interprocessor communication under the direct
 Lagrangian method — this kernel is pure per-particle computation.
+
+Because every update is per-particle independent and in place,
+:func:`boris_push` is segment-oblivious: the flat-rank engine calls it
+once over a pooled :class:`~repro.particles.arrays.ParticlePool` array
+and the per-rank views advance bit-identically to ``p`` per-rank calls.
 """
 
 from __future__ import annotations

@@ -57,6 +57,7 @@ class SimulationConfig:
     ghost_table: str = "hash"  #: hash | direct
     field_solver: str = "maxwell"  #: maxwell | electrostatic (era kernel only)
     kernel: str = "era"  #: era (CIC + collocated FDTD, the paper) | modern (Yee + zigzag)
+    engine: str = "flat"  #: flat (pooled kernels) | looped (per-rank loops; era kernel only)
     model: MachineModel = field(default_factory=MachineModel.cm5)
     dt: float | None = None
     seed: int = 0
@@ -77,7 +78,12 @@ class SimulationConfig:
                 "adaptive partitioning rebalances cell ownership and requires eulerian movement",
             )
         require(self.kernel in ("era", "modern"), f"unknown kernel {self.kernel!r}")
+        require(self.engine in ("looped", "flat"), f"unknown engine {self.engine!r}")
         if self.kernel == "modern":
+            require(
+                self.engine == "flat",
+                "the modern kernel has no looped/flat engine split",
+            )
             require(
                 self.movement == "lagrangian" and self.partitioning == "independent",
                 "the modern kernel supports lagrangian movement with independent partitioning",
@@ -243,6 +249,7 @@ class Simulation:
                 ghost_table=config.ghost_table,
                 movement=config.movement,
                 field_solver=config.field_solver,
+                engine=config.engine,
             )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,188 @@
+"""Looped-vs-flat engine parity: the accounting-invariance contract.
+
+The flat engine replaces ``for r in range(p)`` phase loops with single
+pooled kernels, but the virtual machine must not be able to tell the
+difference: identical virtual time, identical per-category op counts,
+identical per-rank clocks, and identical per-phase message statistics.
+Physical state (particles, fields) is pinned at ``atol=1e-12`` — pooled
+``bincount`` deposition regroups the same floating-point additions, so
+bit-equality is not expected there, only accounting bit-equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePartitioner
+from repro.machine import MachineModel, VirtualMachine
+from repro.mesh import CurveBlockDecomposition, Grid2D
+from repro.particles import ParticleArray, ParticlePool, gaussian_blob, uniform_plasma
+from repro.pic import ParallelPIC
+
+
+def _build(engine, *, p=6, movement="lagrangian", ghost_table="hash",
+           field_solver="maxwell", n=1200, rng=21, **kwargs):
+    grid = Grid2D(24, 16)
+    particles = gaussian_blob(grid, n, rng=rng)
+    vm = VirtualMachine(p, MachineModel.cm5())
+    decomp = CurveBlockDecomposition(grid, p, "hilbert")
+    local = ParticlePartitioner(grid, "hilbert").initial_partition(particles, p)
+    pic = ParallelPIC(
+        vm, grid, decomp, local,
+        movement=movement, ghost_table=ghost_table,
+        field_solver=field_solver, engine=engine, **kwargs,
+    )
+    return vm, pic
+
+
+def _assert_accounting_equal(vm_l, vm_f):
+    assert vm_f.elapsed() == vm_l.elapsed()
+    np.testing.assert_array_equal(vm_f.clocks, vm_l.clocks)
+    np.testing.assert_array_equal(vm_f.compute_time, vm_l.compute_time)
+    np.testing.assert_array_equal(vm_f.comm_time, vm_l.comm_time)
+    assert vm_f.ops.as_dict() == vm_l.ops.as_dict()
+    assert set(vm_f.phase_time) == set(vm_l.phase_time)
+    for name in vm_l.phase_time:
+        np.testing.assert_array_equal(vm_f.phase_time[name], vm_l.phase_time[name])
+    assert vm_f.stats.phases() == vm_l.stats.phases()
+    for name in vm_l.stats.phases():
+        rec_l, rec_f = vm_l.stats.phase(name), vm_f.stats.phase(name)
+        for attr in ("msgs_sent", "msgs_recv", "bytes_sent", "bytes_recv"):
+            np.testing.assert_array_equal(
+                getattr(rec_f, attr), getattr(rec_l, attr),
+                err_msg=f"phase {name}: {attr} differs between engines",
+            )
+
+
+class TestAccountingInvariance:
+    """vm.elapsed(), vm.ops, and comm stats must agree to the last bit."""
+
+    @pytest.mark.parametrize("ghost_table", ["hash", "direct"])
+    @pytest.mark.parametrize("movement", ["lagrangian", "eulerian"])
+    def test_movement_and_table_matrix(self, movement, ghost_table):
+        vm_l, pic_l = _build("looped", movement=movement, ghost_table=ghost_table)
+        vm_f, pic_f = _build("flat", movement=movement, ghost_table=ghost_table)
+        for _ in range(4):
+            pic_l.step()
+            pic_f.step()
+        _assert_accounting_equal(vm_l, vm_f)
+
+    @pytest.mark.parametrize("p", [1, 2, 7, 16])
+    def test_rank_counts(self, p):
+        vm_l, pic_l = _build("looped", p=p)
+        vm_f, pic_f = _build("flat", p=p)
+        for _ in range(3):
+            pic_l.step()
+            pic_f.step()
+        _assert_accounting_equal(vm_l, vm_f)
+
+    def test_electrostatic_solver(self):
+        vm_l, pic_l = _build("looped", field_solver="electrostatic")
+        vm_f, pic_f = _build("flat", field_solver="electrostatic")
+        for _ in range(3):
+            pic_l.step()
+            pic_f.step()
+        _assert_accounting_equal(vm_l, vm_f)
+
+    def test_ghost_table_stats_match(self):
+        vm_l, pic_l = _build("looped")
+        vm_f, pic_f = _build("flat")
+        for _ in range(3):
+            pic_l.step()
+            pic_f.step()
+        for tl, tf in zip(pic_l.ghost_tables, pic_f.ghost_tables):
+            assert tf.stats.entries == tl.stats.entries
+            assert tf.stats.unique_nodes == tl.stats.unique_nodes
+            assert tf.stats.ops == tl.stats.ops
+
+
+class TestPhysicalParity:
+    """Particles and fields agree between engines at 1e-12."""
+
+    @pytest.mark.parametrize("movement", ["lagrangian", "eulerian"])
+    def test_state_matches(self, movement):
+        _, pic_l = _build("looped", movement=movement)
+        _, pic_f = _build("flat", movement=movement)
+        for _ in range(5):
+            pic_l.step()
+            pic_f.step()
+        par_l, par_f = pic_l.all_particles(), pic_f.all_particles()
+        assert par_f.n == par_l.n
+        ol, of = np.argsort(par_l.ids), np.argsort(par_f.ids)
+        np.testing.assert_array_equal(par_f.ids[of], par_l.ids[ol])
+        for attr in ("x", "y", "ux", "uy", "uz"):
+            np.testing.assert_allclose(
+                getattr(par_f, attr)[of], getattr(par_l, attr)[ol], atol=1e-12,
+                err_msg=f"particle {attr} diverged between engines",
+            )
+        for field in ("ex", "ey", "ez", "bx", "by", "bz", "rho", "jx", "jy", "jz"):
+            np.testing.assert_allclose(
+                getattr(pic_f.fields, field), getattr(pic_l.fields, field),
+                atol=1e-12, err_msg=f"field {field} diverged between engines",
+            )
+
+    def test_ghost_schedule_identical(self):
+        """The flat scatter's message schedule equals the looped one's."""
+        _, pic_l = _build("looped")
+        _, pic_f = _build("flat")
+        pic_l.scatter()
+        pic_f.scatter()
+        for gl, gf in zip(pic_l._ghost_nodes, pic_f._ghost_nodes):
+            assert sorted(gl) == sorted(gf)
+            for owner in gl:
+                np.testing.assert_array_equal(gf[owner], gl[owner])
+
+
+class TestPoolLifecycle:
+    def test_pool_survives_external_reassignment(self):
+        """Replacing pic.particles (as the redistributor does) must
+        trigger a pool rebuild, not stale reads."""
+        _, pic = _build("flat")
+        pic.step()
+        pool_before = pic._pool
+        assert pool_before is not None and pool_before.owns(pic.particles)
+        # Redistribution swaps in brand-new per-rank arrays.
+        pic.particles = [p.copy() for p in pic.particles]
+        assert not pool_before.owns(pic.particles)
+        pic.step()
+        assert pic._pool is not pool_before
+        assert pic._pool.owns(pic.particles)
+
+    def test_pool_round_trip(self):
+        grid = Grid2D(8, 8)
+        particles = uniform_plasma(grid, 200, rng=5)
+        parts = [particles.take(np.arange(i * 50, (i + 1) * 50)) for i in range(4)]
+        pool = ParticlePool.from_ranks(parts)
+        assert pool.p == 4 and pool.n == 200
+        np.testing.assert_array_equal(pool.counts, [50, 50, 50, 50])
+        for r in range(4):
+            np.testing.assert_array_equal(pool.views[r].ids, parts[r].ids)
+            np.testing.assert_array_equal(pool.views[r].x, parts[r].x)
+        assert pool.owns(list(pool.views))
+        assert not pool.owns(parts)
+
+    def test_empty_segments(self):
+        parts = [ParticleArray.empty(0) for _ in range(3)]
+        pool = ParticlePool.from_ranks(parts)
+        assert pool.n == 0
+        np.testing.assert_array_equal(pool.counts, [0, 0, 0])
+
+
+class TestDebugHooks:
+    def test_hooks_empty_by_default(self):
+        _, pic = _build("flat")
+        pic.step()
+        assert pic.last_halo == []
+        assert pic.last_gather_messages == []
+
+    @pytest.mark.parametrize("engine", ["looped", "flat"])
+    def test_hooks_populated_when_requested(self, engine):
+        vm, pic = _build(engine, collect_debug=True)
+        pic.step()
+        assert len(pic.last_gather_messages) == vm.p
+        assert len(pic.last_halo) == vm.p
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            _build("pooled")

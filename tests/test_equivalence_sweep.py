@@ -33,17 +33,18 @@ def configurations(draw):
     table = draw(st.sampled_from(["hash", "direct"]))
     decomp_kind = draw(st.sampled_from(["curve", "block", "scatter"]))
     movement = draw(st.sampled_from(["lagrangian", "eulerian"]))
+    engine = draw(st.sampled_from(["looped", "flat"]))
     dist = draw(st.sampled_from(["uniform", "blob"]))
     seed = draw(st.integers(0, 10**6))
     steps = draw(st.integers(1, 4))
-    return (nx, ny, n, p, scheme, table, decomp_kind, movement, dist, seed, steps)
+    return (nx, ny, n, p, scheme, table, decomp_kind, movement, engine, dist, seed, steps)
 
 
 class TestEquivalenceSweep:
     @given(cfg=configurations())
     @settings(max_examples=25, deadline=None)
     def test_parallel_equals_sequential(self, cfg):
-        nx, ny, n, p, scheme, table, decomp_kind, movement, dist, seed, steps = cfg
+        nx, ny, n, p, scheme, table, decomp_kind, movement, engine, dist, seed, steps = cfg
         grid = Grid2D(nx, ny)
         sampler = uniform_plasma if dist == "uniform" else gaussian_blob
         particles = sampler(grid, n, rng=seed)
@@ -57,7 +58,7 @@ class TestEquivalenceSweep:
             decomp = ScatterDecomposition(grid, p)
         local = ParticlePartitioner(grid, scheme).initial_partition(particles, p)
         pic = ParallelPIC(
-            vm, grid, decomp, local, ghost_table=table, movement=movement
+            vm, grid, decomp, local, ghost_table=table, movement=movement, engine=engine
         )
         seq = SequentialPIC(grid, particles.copy(), dt=pic.dt)
         for _ in range(steps):
@@ -76,27 +77,28 @@ class TestEquivalenceSweep:
 
 
 class TestFullMatrix:
-    """Deterministic full sweep of movement x indexing scheme x ranks.
+    """Deterministic full sweep of engine x movement x scheme x ranks.
 
-    Every combination of {lagrangian, eulerian} x {hilbert, snake,
-    morton, rowmajor} x {1, 3, 4} ranks must reproduce the sequential
-    reference.  Agreement is pinned at ``atol=1e-12`` — far below any
-    physical scale in the run but above the ~1e-16 summation-order noise
-    of ``bincount`` deposition, which reorders the same additions the
-    sequential code performs (true bit-equality holds for particle
-    trajectories at p=1 only by accident of that ordering).
+    Every combination of {looped, flat} x {lagrangian, eulerian} x
+    {hilbert, snake, morton, rowmajor} x {1, 3, 4} ranks must reproduce
+    the sequential reference.  Agreement is pinned at ``atol=1e-12`` —
+    far below any physical scale in the run but above the ~1e-16
+    summation-order noise of ``bincount`` deposition, which reorders the
+    same additions the sequential code performs (true bit-equality holds
+    for particle trajectories at p=1 only by accident of that ordering).
     """
 
     @pytest.mark.parametrize("p", [1, 3, 4])
     @pytest.mark.parametrize("scheme", ["hilbert", "snake", "morton", "rowmajor"])
     @pytest.mark.parametrize("movement", ["lagrangian", "eulerian"])
-    def test_matrix(self, movement, scheme, p):
+    @pytest.mark.parametrize("engine", ["looped", "flat"])
+    def test_matrix(self, engine, movement, scheme, p):
         grid = Grid2D(16, 12)
         particles = uniform_plasma(grid, 300, rng=7)
         vm = VirtualMachine(p, MachineModel.cm5())
         decomp = CurveBlockDecomposition(grid, p, scheme)
         local = ParticlePartitioner(grid, scheme).initial_partition(particles, p)
-        pic = ParallelPIC(vm, grid, decomp, local, movement=movement)
+        pic = ParallelPIC(vm, grid, decomp, local, movement=movement, engine=engine)
         seq = SequentialPIC(grid, particles.copy(), dt=pic.dt)
         for _ in range(3):
             pic.step()

@@ -82,7 +82,7 @@ class TestCommunicationAuthenticity:
     def test_gather_messages_carry_owner_fields(self):
         grid = Grid2D(16, 16)
         particles = gaussian_blob(grid, 1024, rng=6)
-        vm, pic = build_parallel(grid, particles, p=4)
+        vm, pic = build_parallel(grid, particles, p=4, collect_debug=True)
         pic.step()
         node_values = pic._field_node_values()
         seen_any = False
