@@ -14,6 +14,8 @@ report generators are wrapped separately into the ``paper`` suite by
 from __future__ import annotations
 
 import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -28,6 +30,7 @@ from repro.mesh import CurveBlockDecomposition, Grid2D
 from repro.particles import gaussian_blob
 from repro.particles.sort import parallel_sample_sort
 from repro.pic import ParallelPIC, Simulation, SimulationConfig
+from repro.pic.checkpoint import load_checkpoint
 from repro.pic.ghost import make_ghost_table
 
 #: Shared problem size of the PIC-phase cases.  p = 32 with 256
@@ -332,3 +335,39 @@ register(
 )
 def _simulation_smoke(sim: Simulation) -> BenchObservation:
     return _observe(sim.vm, lambda: sim.run(10))
+
+
+def _checkpoint_fixture() -> tuple[Simulation, Path]:
+    sim = Simulation(
+        SimulationConfig(
+            nx=_NX,
+            ny=_NY,
+            nparticles=_NPART,
+            p=_P,
+            distribution="irregular",
+            policy="dynamic",
+            seed=_SEED,
+            engine=_engine(),
+        )
+    )
+    sim.run(2)  # accumulate vm / policy / record state worth serializing
+    path = Path(tempfile.mkdtemp(prefix="repro_bench_ck_")) / "ck.npz"
+    return sim, path
+
+
+@register(
+    "checkpoint_roundtrip_p32",
+    suites=("smoke", "full"),
+    tier=1,
+    repeats=3,
+    description="v2 checkpoint save + load of a p=32 run (full run state)",
+    setup=_checkpoint_fixture,
+)
+def _checkpoint_roundtrip(ctx) -> BenchObservation:
+    sim, path = ctx
+
+    def body():
+        sim.checkpoint(path)
+        load_checkpoint(path)
+
+    return _observe(sim.vm, body)

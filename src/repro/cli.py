@@ -5,6 +5,9 @@ Usage examples::
     python -m repro run --nx 64 --ny 32 -n 8192 -p 16 \
         --distribution irregular --policy dynamic --iterations 200
     python -m repro run --case fig20 --policy periodic:25
+    python -m repro run --iterations 100 \
+        --checkpoint-every 25 --checkpoint-path run.ckpt.npz
+    python -m repro resume run.ckpt.npz --iterations 100
     python -m repro scenarios
     python -m repro schemes
     python -m repro bench run --suite smoke --json
@@ -58,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--movement", default="lagrangian",
                      choices=["lagrangian", "eulerian"])
     run.add_argument("--partitioning", default="independent",
-                     choices=["independent", "grid", "particle"])
+                     choices=["independent", "grid", "particle", "adaptive"])
     run.add_argument("--ghost-table", default="hash", choices=["hash", "direct"])
     run.add_argument("--iterations", type=int, default=200)
     run.add_argument("--seed", type=int, default=0)
@@ -72,6 +75,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit a machine-readable JSON summary")
     run.add_argument("--save-json", metavar="PATH",
                      help="write the full result (summary + per-iteration series) to PATH")
+    run.add_argument("--checkpoint-every", type=int, metavar="K",
+                     help="write an exact-resume checkpoint after every K iterations")
+    run.add_argument("--checkpoint-path", metavar="PATH",
+                     help="checkpoint file (.npz) written by --checkpoint-every")
+
+    resume = sub.add_parser(
+        "resume", help="resume a checkpointed run exactly where it left off"
+    )
+    resume.add_argument("path", help="checkpoint file written by `repro run --checkpoint-every`")
+    resume.add_argument("--iterations", type=int, required=True,
+                        help="number of further iterations to run")
+    resume.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON summary")
+    resume.add_argument("--save-json", metavar="PATH",
+                        help="write the full result (summary + per-iteration series) to PATH")
+    resume.add_argument("--checkpoint-every", type=int, metavar="K",
+                        help="keep checkpointing every K iterations while resumed")
+    resume.add_argument("--checkpoint-path", metavar="PATH",
+                        help="checkpoint file for --checkpoint-every (default: resume source)")
 
     sub.add_parser("scenarios", help="list the paper's experiment configurations")
     sub.add_parser("schemes", help="list registered indexing schemes")
@@ -136,7 +158,10 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         vth=args.vth,
     )
     if args.config:
+        from dataclasses import fields as dataclass_fields
         from pathlib import Path
+
+        from repro.machine.model import MachineModel
 
         try:
             loaded = json.loads(Path(args.config).read_text())
@@ -146,9 +171,24 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
             raise SystemExit(f"config file {args.config} is not valid JSON: {exc}")
         if not isinstance(loaded, dict):
             raise SystemExit(f"config file {args.config} must contain a JSON object")
-        unknown = set(loaded) - set(kwargs)
+        # Every SimulationConfig field is a valid config key — including
+        # density / dt / nbuckets, which have no CLI flag — plus "model"
+        # as a preset name or full constants dict.
+        valid = {f.name for f in dataclass_fields(SimulationConfig)}
+        unknown = set(loaded) - valid
         if unknown:
             raise SystemExit(f"unknown config keys in {args.config}: {sorted(unknown)}")
+        model = loaded.pop("model", None)
+        if model is not None:
+            try:
+                if isinstance(model, str):
+                    loaded["model"] = MachineModel.by_name(model)
+                elif isinstance(model, dict):
+                    loaded["model"] = MachineModel.from_dict(model)
+                else:
+                    raise ValueError(f"model must be a name or a dict, got {model!r}")
+            except (ValueError, KeyError, TypeError) as exc:
+                raise SystemExit(f"bad machine model in {args.config}: {exc}")
         kwargs.update(loaded)
         # explicit command-line flags win over the file
         defaults = build_parser().parse_args(["run"])
@@ -187,10 +227,17 @@ def _summary_dict(result: SimulationResult) -> dict:
     }
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
-    sim = Simulation(config)
-    result = sim.run(args.iterations)
+def _checkpoint_args(args: argparse.Namespace, default_path=None):
+    every = args.checkpoint_every
+    path = args.checkpoint_path or default_path
+    if every is not None and every < 1:
+        raise SystemExit(f"--checkpoint-every must be >= 1, got {every}")
+    if every is not None and path is None:
+        raise SystemExit("--checkpoint-every requires --checkpoint-path")
+    return every, path
+
+
+def _emit_result(args: argparse.Namespace, result, title: str) -> int:
     if args.save_json:
         result.save_json(args.save_json)
     summary = _summary_dict(result)
@@ -198,12 +245,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(summary, indent=2))
     else:
         rows = [[k, v] for k, v in summary.items() if not isinstance(v, dict)]
-        print(format_table(["quantity", "value"], rows,
-                           title=f"{args.iterations} iterations, p={config.p}"))
+        print(format_table(["quantity", "value"], rows, title=title))
         print()
         for phase, seconds in sorted(summary["phase_breakdown"].items()):
             print(f"  {phase:<15s} {seconds:10.4f} s")
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    every, ck_path = _checkpoint_args(args)
+    sim = Simulation(config)
+    result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
+    return _emit_result(args, result, f"{args.iterations} iterations, p={config.p}")
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.pic.checkpoint import CheckpointError
+
+    if args.iterations < 0:
+        raise SystemExit(f"--iterations must be >= 0, got {args.iterations}")
+    every, ck_path = _checkpoint_args(args, default_path=args.path)
+    try:
+        sim = Simulation.from_checkpoint(args.path)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
+    return _emit_result(
+        args,
+        result,
+        f"resumed +{args.iterations} iterations (total {sim.iteration}), p={sim.config.p}",
+    )
 
 
 def _cmd_scenarios() -> int:
@@ -367,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "scenarios":
         return _cmd_scenarios()
     if args.command == "schemes":

@@ -26,6 +26,8 @@ __all__ = [
     "PeriodicPolicy",
     "DynamicSARPolicy",
     "make_policy",
+    "policy_spec",
+    "policy_from_state",
 ]
 
 
@@ -43,6 +45,20 @@ class RedistributionPolicy(ABC):
 
     def record_redistribution(self, iteration: int, cost: float) -> None:
         """Observe that a redistribution costing ``cost`` ran after ``iteration``."""
+
+    # -- exact-resume checkpoint support --------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the policy's mutable state.
+
+        A policy restored from this snapshot must make the same
+        :meth:`should_redistribute` decisions as the uninterrupted
+        instance — subclasses with internal history override this and
+        :meth:`load_state`.
+        """
+        return {"type": type(self).__name__}
+
+    def load_state(self, state: dict) -> None:
+        """Restore mutable state from a :meth:`state_dict` snapshot."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -69,6 +85,14 @@ class PeriodicPolicy(RedistributionPolicy):
 
     def should_redistribute(self, iteration: int) -> bool:
         return (iteration + 1) % self.period == 0
+
+    def state_dict(self) -> dict:
+        return {"type": type(self).__name__, "period": self.period}
+
+    def load_state(self, state: dict) -> None:
+        period = int(state["period"])
+        require(period >= 1, f"period must be >= 1, got {period}")
+        self.period = period
 
     def __repr__(self) -> str:
         return f"PeriodicPolicy(period={self.period})"
@@ -121,6 +145,23 @@ class DynamicSARPolicy(RedistributionPolicy):
         self._i1 = None
         self._t1 = None
 
+    def state_dict(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "redistribution_cost": self.redistribution_cost,
+            "i0": self._i0,
+            "t0": self._t0,
+            "i1": self._i1,
+            "t1": self._t1,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.redistribution_cost = float(state["redistribution_cost"])
+        self._i0 = None if state["i0"] is None else int(state["i0"])
+        self._t0 = None if state["t0"] is None else float(state["t0"])
+        self._i1 = None if state["i1"] is None else int(state["i1"])
+        self._t1 = None if state["t1"] is None else float(state["t1"])
+
     def __repr__(self) -> str:
         return f"DynamicSARPolicy(T_redistribution={self.redistribution_cost:g})"
 
@@ -142,3 +183,32 @@ def make_policy(spec: str | RedistributionPolicy) -> RedistributionPolicy:
     raise ValueError(
         f"unknown policy spec {spec!r}; expected 'static', 'dynamic', or 'periodic:<k>'"
     )
+
+
+def policy_spec(policy: str | RedistributionPolicy) -> str:
+    """Canonical spec string of a policy (inverse of :func:`make_policy`)."""
+    if isinstance(policy, str):
+        return policy
+    if isinstance(policy, StaticPolicy):
+        return "static"
+    if isinstance(policy, PeriodicPolicy):
+        return f"periodic:{policy.period}"
+    if isinstance(policy, DynamicSARPolicy):
+        return "dynamic"
+    return type(policy).__name__
+
+
+def policy_from_state(state: dict) -> RedistributionPolicy:
+    """Rebuild a policy instance from a :meth:`~RedistributionPolicy.state_dict`
+    snapshot, restoring all mutable internals."""
+    classes = {cls.__name__: cls for cls in (StaticPolicy, DynamicSARPolicy)}
+    kind = state.get("type")
+    if kind in classes:
+        policy = classes[kind]()
+    elif kind == PeriodicPolicy.__name__:
+        policy = PeriodicPolicy(int(state["period"]))
+    else:
+        known = sorted([*classes, PeriodicPolicy.__name__])
+        raise ValueError(f"unknown policy type {kind!r} in checkpoint; known: {known}")
+    policy.load_state(state)
+    return policy

@@ -112,6 +112,45 @@ class Redistributor:
             ]
         return RedistributionResult(particles, vm.elapsed() - t0, stats)
 
+    # ------------------------------------------------------------------
+    # exact-resume checkpoint support
+    # ------------------------------------------------------------------
+    def export_keys(self) -> list[np.ndarray] | None:
+        """Per-rank build-time sort keys of the current bucket states.
+
+        These are the keys as of the last (re)distribution epoch — they
+        cannot be recomputed from current particle positions (the
+        particles have moved since), so checkpoints must carry them for
+        a resumed run's incremental sort to classify identically.
+        Returns ``None`` before :meth:`initialize`.
+        """
+        if self._states is None:
+            return None
+        return [state.keys.copy() for state in self._states]
+
+    def restore_keys(
+        self, keys: list[np.ndarray], local_particles: list[ParticleArray]
+    ) -> None:
+        """Rebuild the bucket states from checkpointed build-time keys.
+
+        ``local_particles`` are the restored per-rank sets; their rows
+        are in the same order as at the epoch that produced ``keys``
+        (redistribution is the only thing that reorders a rank, and it
+        rebuilds the states).  Bucket offsets and key ranges are derived
+        from the keys exactly as :meth:`BucketState.build` did
+        originally, so classification decisions are bit-identical.
+        """
+        require(len(keys) == len(local_particles), "need one key array per rank")
+        states = []
+        for rank_keys, parts in zip(keys, local_particles):
+            rank_keys = np.asarray(rank_keys)
+            require(
+                rank_keys.shape[0] == parts.n,
+                f"restored keys ({rank_keys.shape[0]}) and particles ({parts.n}) disagree",
+            )
+            states.append(BucketState.build(rank_keys, parts.to_matrix(), self.nbuckets))
+        self._states = states
+
     def full_redistribute(self, vm: VirtualMachine, local_particles: list[ParticleArray]) -> RedistributionResult:
         """From-scratch redistribution (sample sort), for comparison runs."""
         t0 = vm.elapsed()

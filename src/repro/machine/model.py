@@ -98,6 +98,39 @@ class MachineModel:
         weights = {k: 1e-30 for k in DEFAULT_OP_WEIGHTS}
         return cls(delta=1e-30, tau=86.0e-6, mu=0.125e-6, op_weights=weights, name="zero-compute")
 
+    @classmethod
+    def by_name(cls, name: str) -> "MachineModel":
+        """Return the preset called ``name`` (``cm5`` | ``modern`` | ``zero-compute``)."""
+        presets = {"cm5": cls.cm5, "modern": cls.modern, "zero-compute": cls.zero_compute}
+        if name not in presets:
+            known = ", ".join(sorted(presets))
+            raise ValueError(f"unknown machine model {name!r}; known presets: {known}")
+        return presets[name]()
+
+    # ------------------------------------------------------------------
+    # serialization (configs / checkpoints)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (full constants, not just the name)."""
+        return {
+            "name": self.name,
+            "delta": self.delta,
+            "tau": self.tau,
+            "mu": self.mu,
+            "op_weights": dict(self.op_weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            delta=float(data["delta"]),
+            tau=float(data["tau"]),
+            mu=float(data["mu"]),
+            op_weights={k: float(v) for k, v in data["op_weights"].items()},
+            name=str(data["name"]),
+        )
+
     # ------------------------------------------------------------------
     # cost functions
     # ------------------------------------------------------------------

@@ -139,3 +139,30 @@ class CommStats:
     def reset(self) -> None:
         """Discard all accumulated tallies."""
         self._phases.clear()
+
+    # ------------------------------------------------------------------
+    # state export / import (exact-resume checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of all per-phase tallies."""
+        return {
+            name: {
+                "msgs_sent": record.msgs_sent.tolist(),
+                "msgs_recv": record.msgs_recv.tolist(),
+                "bytes_sent": record.bytes_sent.tolist(),
+                "bytes_recv": record.bytes_recv.tolist(),
+            }
+            for name, record in self._phases.items()
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore tallies from a :meth:`state_dict` snapshot (exact)."""
+        self._phases.clear()
+        for name, record in state.items():
+            arrays = {
+                key: np.asarray(record[key], dtype=np.int64)
+                for key in ("msgs_sent", "msgs_recv", "bytes_sent", "bytes_recv")
+            }
+            for key, arr in arrays.items():
+                require(arr.shape == (self.p,), f"stats {name}/{key} must have length p={self.p}")
+            self._phases[name] = PhaseComm(**arrays)

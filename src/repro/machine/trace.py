@@ -91,8 +91,17 @@ class PhaseTrace:
             total = sum(sums.values())
             column = []
             if total > 0:
-                for p in phases:
-                    column.extend(glyph_of[p] * int(round(bar_height * sums[p] / total)))
+                # Largest-remainder apportionment: glyph counts always sum
+                # to exactly bar_height, so no phase's share is silently
+                # truncated by independent rounding.
+                shares = np.array([bar_height * sums[p] / total for p in phases])
+                counts = np.floor(shares).astype(int)
+                shortfall = bar_height - int(counts.sum())
+                if shortfall > 0:
+                    order = np.argsort(-(shares - counts), kind="stable")
+                    counts[order[:shortfall]] += 1
+                for p, count in zip(phases, counts):
+                    column.extend(glyph_of[p] * int(count))
             column = (column + [" "] * bar_height)[:bar_height]
             grid_cols.append(column)
         for level in range(bar_height - 1, -1, -1):

@@ -234,6 +234,46 @@ class VirtualMachine:
         return float(self.allreduce(arrays, op=op)[0][0])
 
     # ------------------------------------------------------------------
+    # state export / import (exact-resume checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the machine's mutable state.
+
+        Covers the per-rank clocks, compute/comm splits, per-phase time
+        tables, the :class:`CommStats` ledger, and the op counters —
+        everything a checkpoint must round-trip for a resumed run to
+        reproduce the uninterrupted one bit-for-bit.  Floats survive the
+        JSON round trip exactly (``repr`` of a float64 is lossless).
+        """
+        return {
+            "p": self.p,
+            "clocks": self.clocks.tolist(),
+            "compute_time": self.compute_time.tolist(),
+            "comm_time": self.comm_time.tolist(),
+            "phase_time": {name: t.tolist() for name, t in self.phase_time.items()},
+            "stats": self.stats.state_dict(),
+            "ops": self.ops.as_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore mutable state from a :meth:`state_dict` snapshot."""
+        require(
+            int(state["p"]) == self.p,
+            f"machine state is for p={state['p']}, this machine has p={self.p}",
+        )
+        for name in ("clocks", "compute_time", "comm_time"):
+            arr = np.asarray(state[name], dtype=float)
+            require(arr.shape == (self.p,), f"{name} must have length p={self.p}")
+            getattr(self, name)[:] = arr
+        self.phase_time.clear()
+        for name, values in state["phase_time"].items():
+            arr = np.asarray(values, dtype=float)
+            require(arr.shape == (self.p,), f"phase_time[{name!r}] must have length p={self.p}")
+            self.phase_time[name] = arr
+        self.stats.load_state(state["stats"])
+        self.ops.load_dict(state["ops"])
+
+    # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def phase_breakdown(self) -> dict[str, float]:

@@ -21,9 +21,20 @@ from repro.pic.poisson import PoissonSolver
 from repro.pic.ghost import DirectAddressTable, HashGhostTable, make_ghost_table
 from repro.pic.sequential import SequentialPIC
 from repro.pic.parallel import ParallelPIC
-from repro.pic.simulation import Simulation, SimulationConfig, SimulationResult
+from repro.pic.simulation import (
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    config_from_dict,
+    config_to_dict,
+)
 from repro.pic.diagnostics import DiagnosticsRecorder, DiagnosticsSample
-from repro.pic.checkpoint import CheckpointData, load_checkpoint, save_checkpoint
+from repro.pic.checkpoint import (
+    CheckpointData,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.pic.smoothing import binomial_smooth
 from repro.pic.replicated import ReplicatedMeshPIC
 from repro.pic.yee import YeePIC, YeeSolver
@@ -45,11 +56,14 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "config_to_dict",
+    "config_from_dict",
     "DiagnosticsRecorder",
     "DiagnosticsSample",
     "save_checkpoint",
     "load_checkpoint",
     "CheckpointData",
+    "CheckpointError",
     "binomial_smooth",
     "ReplicatedMeshPIC",
     "YeeSolver",

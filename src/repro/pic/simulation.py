@@ -10,12 +10,18 @@ bytes and max messages) and the end-of-run totals its tables report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.partitioner import ParticlePartitioner
-from repro.core.policies import RedistributionPolicy, make_policy
+from repro.core.policies import (
+    RedistributionPolicy,
+    make_policy,
+    policy_from_state,
+    policy_spec,
+)
 from repro.core.redistribution import Redistributor
 from repro.machine.model import MachineModel
 from repro.machine.virtual import VirtualMachine
@@ -23,10 +29,18 @@ from repro.mesh.decomposition import CurveBlockDecomposition, MeshDecomposition,
 from repro.mesh.grid import Grid2D
 from repro.particles.arrays import ParticleArray
 from repro.particles.init import gaussian_blob, ring_distribution, two_stream, uniform_plasma
+from repro.pic.checkpoint import CheckpointData, CheckpointError, load_checkpoint, save_checkpoint
 from repro.pic.parallel import ParallelPIC
 from repro.util import require
 
-__all__ = ["SimulationConfig", "IterationRecord", "SimulationResult", "Simulation"]
+__all__ = [
+    "SimulationConfig",
+    "IterationRecord",
+    "SimulationResult",
+    "Simulation",
+    "config_to_dict",
+    "config_from_dict",
+]
 
 _DISTRIBUTIONS = {
     "uniform": uniform_plasma,
@@ -95,6 +109,56 @@ class SimulationConfig:
         require(self.nparticles >= self.p, "need at least one particle per rank")
 
 
+def config_to_dict(cfg: SimulationConfig, *, full_model: bool = False) -> dict:
+    """JSON-serializable form of a :class:`SimulationConfig`.
+
+    Every field round-trips through :func:`config_from_dict`: the policy
+    is rendered as its canonical spec string and the machine model as its
+    preset name (or, with ``full_model=True``, as the full constants dict
+    checkpoints embed so custom models survive too).
+    """
+    out = {}
+    for f in dataclass_fields(SimulationConfig):
+        value = getattr(cfg, f.name)
+        if f.name == "policy":
+            value = policy_spec(value)
+        elif f.name == "model":
+            if full_model:
+                value = value.to_dict()
+            else:
+                # Preset name when it resolves back to this exact model;
+                # full constants dict otherwise (custom models must still
+                # replay via --config).
+                try:
+                    is_preset = MachineModel.by_name(value.name) == value
+                except ValueError:
+                    is_preset = False
+                value = value.name if is_preset else value.to_dict()
+        out[f.name] = value
+    return out
+
+
+def config_from_dict(data: dict) -> SimulationConfig:
+    """Build a :class:`SimulationConfig` from :func:`config_to_dict` output.
+
+    ``model`` may be a preset name string or a full constants dict.
+    Unknown keys raise ``ValueError`` naming them.
+    """
+    data = dict(data)
+    valid = {f.name for f in dataclass_fields(SimulationConfig)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    model = data.pop("model", None)
+    if isinstance(model, str):
+        data["model"] = MachineModel.by_name(model)
+    elif isinstance(model, dict):
+        data["model"] = MachineModel.from_dict(model)
+    elif model is not None:
+        data["model"] = model
+    return SimulationConfig(**data)
+
+
 @dataclass
 class IterationRecord:
     """Per-iteration observables (the series of Figures 17–19)."""
@@ -143,23 +207,14 @@ class SimulationResult:
     # export
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-serializable summary plus per-iteration series."""
-        cfg = self.config
+        """JSON-serializable summary plus per-iteration series.
+
+        The ``config`` block is the complete :class:`SimulationConfig`
+        (via :func:`config_to_dict`), so a saved run's config feeds back
+        through ``repro run --config`` to an identical run.
+        """
         return {
-            "config": {
-                "nx": cfg.nx,
-                "ny": cfg.ny,
-                "nparticles": cfg.nparticles,
-                "p": cfg.p,
-                "distribution": cfg.distribution,
-                "scheme": cfg.scheme,
-                "policy": cfg.policy if isinstance(cfg.policy, str) else type(cfg.policy).__name__,
-                "movement": cfg.movement,
-                "partitioning": cfg.partitioning,
-                "kernel": cfg.kernel,
-                "seed": cfg.seed,
-                "machine": cfg.model.name,
-            },
+            "config": config_to_dict(self.config),
             "totals": {
                 "iterations": len(self.records),
                 "total_time": self.total_time,
@@ -186,10 +241,23 @@ class SimulationResult:
 
 
 class Simulation:
-    """Assembles and runs one configured experiment."""
+    """Assembles and runs one configured experiment.
+
+    The driver is stateful: :meth:`run` advances the simulation by a
+    number of iterations and returns a :class:`SimulationResult` covering
+    the *entire* history so far, so a run restored with
+    :meth:`from_checkpoint` and continued produces the same result object
+    as the uninterrupted run (the exact-resume contract, DESIGN.md §5.2).
+    """
 
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
+        #: completed iterations (absolute; checkpoints resume from here)
+        self.iteration = 0
+        #: full per-iteration history (restored on resume)
+        self.records: list[IterationRecord] = []
+        self.n_redistributions = 0
+        self.redistribution_time = 0.0
         self.grid = Grid2D(config.nx, config.ny)
         sampler = _DISTRIBUTIONS[config.distribution]
         self.initial_particles = sampler(
@@ -287,14 +355,35 @@ class Simulation:
         return self.partitioner.initial_partition(self.initial_particles, cfg.p)
 
     # ------------------------------------------------------------------
-    def run(self, niters: int) -> SimulationResult:
-        """Run ``niters`` iterations under the configured policy."""
+    def run(
+        self,
+        niters: int,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | Path | None = None,
+    ) -> SimulationResult:
+        """Run ``niters`` further iterations under the configured policy.
+
+        On a fresh simulation this is iterations ``0 .. niters-1``; on a
+        simulation restored with :meth:`from_checkpoint` the iteration
+        numbering (and therefore the policy schedule) continues from the
+        checkpoint.  The returned result always covers the full history,
+        including restored iterations.
+
+        With ``checkpoint_every=k`` a checkpoint is written to
+        ``checkpoint_path`` (atomically overwritten in place) after every
+        ``k``-th completed iteration, counted absolutely.
+        """
         require(niters >= 0, "niters must be >= 0")
+        if checkpoint_every is not None:
+            require(checkpoint_every >= 1, "checkpoint_every must be >= 1")
+            require(
+                checkpoint_path is not None,
+                "checkpoint_every requires checkpoint_path",
+            )
         vm = self.vm
-        records: list[IterationRecord] = []
-        redis_time = 0.0
-        n_redis = 0
-        for it in range(niters):
+        start = self.iteration
+        for it in range(start, start + niters):
             t0 = vm.elapsed()
             self.pic.step()
             t_iter = vm.elapsed() - t0
@@ -313,27 +402,131 @@ class Simulation:
                 result = self.redistributor.redistribute(vm, self.pic.particles)
                 self.pic.particles = result.particles
                 cost = result.cost
-                redis_time += cost
-                n_redis += 1
+                self.redistribution_time += cost
+                self.n_redistributions += 1
                 redistributed = True
                 self.policy.record_redistribution(it, cost)
                 vm.stats.snapshot_epoch()  # keep redistribution comm out of scatter series
             elif self.rebalancer is not None and self.policy.should_redistribute(it):
                 cost = self.rebalancer.rebalance(self.pic)
-                redis_time += cost
-                n_redis += 1
+                self.decomp = self.pic.decomp  # rebalance moved the bounds
+                self.redistribution_time += cost
+                self.n_redistributions += 1
                 redistributed = True
                 self.policy.record_redistribution(it, cost)
                 vm.stats.snapshot_epoch()
-            records.append(
+            self.records.append(
                 IterationRecord(it, t_iter, max_bytes, max_msgs, redistributed, cost)
             )
+            self.iteration = it + 1
+            if checkpoint_every is not None and self.iteration % checkpoint_every == 0:
+                self.checkpoint(checkpoint_path)
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """The :class:`SimulationResult` of the history run so far."""
+        vm = self.vm
         return SimulationResult(
             config=self.config,
-            records=records,
+            records=list(self.records),
             total_time=vm.elapsed(),
             computation_time=float(vm.compute_time.max()),
-            n_redistributions=n_redis,
-            redistribution_time=redis_time,
+            n_redistributions=self.n_redistributions,
+            redistribution_time=self.redistribution_time,
             phase_breakdown=vm.phase_breakdown(),
         )
+
+    # ------------------------------------------------------------------
+    # exact-resume checkpoint / restart
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str | Path) -> Path:
+        """Write a format-v2 exact-resume checkpoint of the full run state.
+
+        Serializes the physical state (per-rank particles, fields, grid),
+        the virtual machine (clocks, compute/comm splits, per-phase times
+        and comm stats, op counters), the policy internals, the current
+        decomposition bounds, the redistributor's build-time sort keys,
+        and the per-iteration record history.  The write is atomic (temp
+        file + ``os.replace``): a crash mid-write never leaves a file
+        :func:`~repro.pic.checkpoint.load_checkpoint` accepts.
+        """
+        run_state = {
+            "config": config_to_dict(self.config, full_model=True),
+            "vm": self.vm.state_dict(),
+            "policy": self.policy.state_dict(),
+            "records": [asdict(r) for r in self.records],
+            "n_redistributions": self.n_redistributions,
+            "redistribution_time": self.redistribution_time,
+            "setup_cost": self._setup_cost,
+            # the *live* decomposition: adaptive rebalancing swaps it at
+            # runtime (pic.decomp), which Simulation.decomp tracks
+            "decomp_bounds": self.pic.decomp.curve_bounds.tolist(),
+        }
+        sort_keys = (
+            self.redistributor.export_keys() if self.redistributor is not None else None
+        )
+        return save_checkpoint(
+            path,
+            self.grid,
+            self.pic.fields,
+            self.pic.particles,
+            self.iteration,
+            run_state=run_state,
+            sort_keys=sort_keys,
+        )
+
+    @classmethod
+    def from_checkpoint(cls, path: str | Path) -> "Simulation":
+        """Rebuild a :class:`Simulation` from a v2 checkpoint, exactly.
+
+        The configuration embedded in the checkpoint reconstructs the
+        stack deterministically; every piece of mutable state is then
+        overwritten from the archive, so continuing with :meth:`run`
+        reproduces the uninterrupted run bit-for-bit.
+        """
+        data = load_checkpoint(path)
+        if data.run_state is None:
+            raise CheckpointError(
+                f"{path} is a format-v1 checkpoint (particles/fields only) and "
+                "cannot seed an exact resume; re-save the run with "
+                "Simulation.checkpoint to get a v2 file"
+            )
+        sim = cls(config_from_dict(data.run_state["config"]))
+        sim._restore(data)
+        return sim
+
+    def _restore(self, data: CheckpointData) -> None:
+        cfg = self.config
+        rs = data.run_state
+        if (data.grid.nx, data.grid.ny) != (self.grid.nx, self.grid.ny):
+            raise CheckpointError(
+                f"checkpoint grid {data.grid.nx}x{data.grid.ny} does not match "
+                f"config grid {self.grid.nx}x{self.grid.ny}"
+            )
+        if len(data.particles) != cfg.p:
+            raise CheckpointError(
+                f"checkpoint has {len(data.particles)} particle sets, config p={cfg.p}"
+            )
+        bounds = np.asarray(rs["decomp_bounds"], dtype=np.int64)
+        if not np.array_equal(bounds, self.decomp.curve_bounds):
+            # Adaptive rebalancing moved the block boundaries at runtime.
+            decomp = CurveBlockDecomposition(self.grid, cfg.p, cfg.scheme, bounds=bounds)
+            self.decomp = decomp
+            self.pic.set_decomposition(decomp)
+        self.pic.particles = list(data.particles)
+        self.pic.fields = data.fields
+        self.pic.iteration = data.iteration
+        self.vm.load_state(rs["vm"])
+        self.policy = policy_from_state(rs["policy"])
+        if self.redistributor is not None:
+            if data.sort_keys is None:
+                raise CheckpointError(
+                    "checkpoint carries no redistribution sort keys but the "
+                    "configured run (lagrangian movement) needs them"
+                )
+            self.redistributor.restore_keys(data.sort_keys, self.pic.particles)
+        self._setup_cost = float(rs["setup_cost"])
+        self.iteration = data.iteration
+        self.records = [IterationRecord(**r) for r in rs["records"]]
+        self.n_redistributions = int(rs["n_redistributions"])
+        self.redistribution_time = float(rs["redistribution_time"])

@@ -60,6 +60,12 @@ class OpCounter:
         """Return a plain-dict snapshot of the tallies."""
         return dict(self._counts)
 
+    def load_dict(self, counts: dict[str, float]) -> None:
+        """Replace all tallies with an :meth:`as_dict` snapshot."""
+        self._counts.clear()
+        for key, val in counts.items():
+            self.add(key, float(val))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
         return f"OpCounter({inner})"

@@ -126,3 +126,113 @@ class TestCommands:
         assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["n_redistributions"] == 3
+
+    def test_config_file_accepts_density_dt_nbuckets(self, capsys, tmp_path):
+        """density / dt / nbuckets are valid SimulationConfig fields with no
+        CLI flag — the config loader must not reject them."""
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({
+            "nx": 16, "ny": 16, "nparticles": 512, "p": 4,
+            "density": 0.02, "dt": 0.01, "nbuckets": 8,
+        }))
+        assert main(["run", "--config", str(cfg), "--iterations", "2", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["iterations"] == 2
+
+    def test_config_file_model_preset(self, capsys, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({
+            "nx": 16, "ny": 16, "nparticles": 512, "p": 4, "model": "modern",
+        }))
+        assert main(["run", "--config", str(cfg), "--iterations", "2", "--json"]) == 0
+
+    def test_config_file_bad_model(self, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text('{"model": "vaxcluster"}')
+        with pytest.raises(SystemExit, match="bad machine model"):
+            main(["run", "--config", str(cfg)])
+
+
+class TestConfigRoundtrip:
+    def test_saved_config_replays_identically(self, tmp_path, capsys):
+        """save_json's config block feeds back through --config and
+        reproduces the identical run."""
+        first = tmp_path / "first.json"
+        argv = [
+            "run", "--nx", "16", "--ny", "16", "-n", "512", "-p", "4",
+            "--distribution", "irregular", "--policy", "periodic:2",
+            "--vth", "0.2", "--seed", "7", "--iterations", "5",
+        ]
+        assert main(argv + ["--save-json", str(first)]) == 0
+        capsys.readouterr()
+
+        saved = json.loads(first.read_text())
+        cfg_file = tmp_path / "cfg.json"
+        cfg_file.write_text(json.dumps(saved["config"]))
+
+        second = tmp_path / "second.json"
+        assert main([
+            "run", "--config", str(cfg_file), "--iterations", "5",
+            "--save-json", str(second),
+        ]) == 0
+        assert json.loads(second.read_text()) == saved
+
+
+class TestResume:
+    def _base_argv(self):
+        return [
+            "run", "--nx", "16", "--ny", "16", "-n", "512", "-p", "4",
+            "--distribution", "irregular", "--policy", "dynamic",
+            "--seed", "3", "--vth", "0.2",
+        ]
+
+    def test_resume_matches_uninterrupted(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        assert main(self._base_argv() + [
+            "--iterations", "8", "--save-json", str(full),
+        ]) == 0
+        ck = tmp_path / "ck.npz"
+        assert main(self._base_argv() + [
+            "--iterations", "4", "--checkpoint-every", "4",
+            "--checkpoint-path", str(ck),
+        ]) == 0
+        resumed = tmp_path / "resumed.json"
+        assert main([
+            "resume", str(ck), "--iterations", "4", "--save-json", str(resumed),
+        ]) == 0
+        capsys.readouterr()
+        assert json.loads(resumed.read_text()) == json.loads(full.read_text())
+
+    def test_resume_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["resume", str(tmp_path / "nope.npz"), "--iterations", "1"])
+
+    def test_resume_invalid_file(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"nope")
+        with pytest.raises(SystemExit, match="cannot resume"):
+            main(["resume", str(bogus), "--iterations", "1"])
+
+    def test_checkpoint_every_without_path(self):
+        with pytest.raises(SystemExit, match="checkpoint-path"):
+            main(self._base_argv() + ["--iterations", "2", "--checkpoint-every", "1"])
+
+    def test_checkpoint_every_bad_value(self, tmp_path):
+        with pytest.raises(SystemExit, match="checkpoint-every"):
+            main(self._base_argv() + [
+                "--iterations", "2", "--checkpoint-every", "0",
+                "--checkpoint-path", str(tmp_path / "x.npz"),
+            ])
+
+    def test_resume_keeps_checkpointing_to_source_by_default(self, tmp_path, capsys):
+        ck = tmp_path / "ck.npz"
+        assert main(self._base_argv() + [
+            "--iterations", "2", "--checkpoint-every", "2",
+            "--checkpoint-path", str(ck),
+        ]) == 0
+        assert main([
+            "resume", str(ck), "--iterations", "2", "--checkpoint-every", "2",
+        ]) == 0
+        capsys.readouterr()
+        from repro.pic.checkpoint import load_checkpoint
+
+        assert load_checkpoint(ck).iteration == 4

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DynamicSARPolicy, PeriodicPolicy, StaticPolicy, make_policy
-from repro.core.policies import RedistributionPolicy
+from repro.core.policies import RedistributionPolicy, policy_from_state, policy_spec
 
 
 class TestStatic:
@@ -97,3 +97,61 @@ class TestMakePolicy:
     def test_bad_period_string(self):
         with pytest.raises(ValueError):
             make_policy("periodic:x")
+
+
+class TestStateRoundtrip:
+    """Checkpointed policy state must reproduce the same future decisions."""
+
+    def test_dynamic_mid_history_decisions_match(self):
+        original = DynamicSARPolicy(initial_cost=4.0)
+        original.record_iteration(0, 1.0)
+        original.record_iteration(1, 2.0)  # window now (0, 1.0), (1, 2.0)
+
+        restored = policy_from_state(original.state_dict())
+        assert isinstance(restored, DynamicSARPolicy)
+        assert restored.redistribution_cost == original.redistribution_cost
+
+        # Both see the same next observation and must agree at every step.
+        for policy in (original, restored):
+            policy.record_iteration(2, 3.0)  # rise 2 * span 2 = 4 >= 4
+        assert original.should_redistribute(2)
+        assert restored.should_redistribute(2)
+
+    def test_dynamic_cost_and_window_survive(self):
+        original = DynamicSARPolicy(initial_cost=0.5)
+        original.record_iteration(0, 1.0)
+        original.record_redistribution(0, 7.25)
+        original.record_iteration(1, 2.0)
+
+        state = original.state_dict()
+        restored = policy_from_state(state)
+        assert restored.redistribution_cost == 7.25
+        assert restored.state_dict() == state
+
+    def test_dynamic_empty_window(self):
+        restored = policy_from_state(DynamicSARPolicy().state_dict())
+        assert not restored.should_redistribute(0)
+
+    def test_periodic_roundtrip(self):
+        restored = policy_from_state(PeriodicPolicy(5).state_dict())
+        assert isinstance(restored, PeriodicPolicy) and restored.period == 5
+        fired = [it for it in range(20) if restored.should_redistribute(it)]
+        assert fired == [4, 9, 14, 19]
+
+    def test_static_roundtrip(self):
+        assert isinstance(policy_from_state(StaticPolicy().state_dict()), StaticPolicy)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy type"):
+            policy_from_state({"type": "OracularPolicy"})
+
+    def test_periodic_bad_state_rejected(self):
+        with pytest.raises(ValueError):
+            policy_from_state({"type": "PeriodicPolicy", "period": 0})
+
+    def test_policy_spec_canonical(self):
+        assert policy_spec(StaticPolicy()) == "static"
+        assert policy_spec(PeriodicPolicy(25)) == "periodic:25"
+        assert policy_spec(DynamicSARPolicy()) == "dynamic"
+        # spec string feeds straight back into make_policy
+        assert make_policy(policy_spec(PeriodicPolicy(7))).period == 7

@@ -76,6 +76,25 @@ class TestRender:
         trace.snapshot()
         assert "M=migration" in trace.render()
 
+    def test_columns_sum_to_bar_height(self):
+        """Largest-remainder apportionment: every non-empty column stacks
+        exactly bar_height glyphs — no blank rows from rounding loss."""
+        vm = VirtualMachine(2)
+        trace = PhaseTrace(vm)
+        # Three phases with shares 1/3 each: naive per-phase rounding gives
+        # 3+3+3 = 9 of 10 glyphs, leaving a hole at the top of the bar.
+        for _ in range(4):
+            for phase in ("scatter", "push", "gather"):
+                with vm.phase(phase):
+                    vm.charge_ops("push", 10)
+            trace.snapshot()
+        out = trace.render(width=4)
+        bar_lines = [line[1:] for line in out.splitlines()[2:-1]]  # strip axis
+        assert len(bar_lines) == 10
+        for col in range(len(bar_lines[0])):
+            glyphs = [line[col] for line in bar_lines]
+            assert " " not in glyphs, f"column {col} lost glyphs to rounding"
+
     def test_render_with_simulation(self):
         """Trace a real mini-run end to end."""
         from repro.pic import Simulation, SimulationConfig

@@ -8,7 +8,11 @@ from repro.machine import MachineModel, VirtualMachine
 from repro.mesh import CurveBlockDecomposition, Grid2D
 from repro.particles import uniform_plasma
 from repro.pic import ParallelPIC, SequentialPIC
-from repro.pic.checkpoint import load_checkpoint, save_checkpoint
+from repro.pic.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 
 class TestRoundtrip:
@@ -93,3 +97,147 @@ class TestValidation:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_checkpoint(tmp_path / "nothere.npz")
+
+    def test_missing_file_message_names_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nothere"):
+            load_checkpoint(tmp_path / "nothere")
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_bare_npy_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "array.npz"
+        with open(path, "wb") as fh:
+            np.save(fh, np.arange(5))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_foreign_npz_names_missing_keys(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.arange(3), b=np.arange(4))
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(path)
+        assert "version" in str(err.value)
+        assert "'a'" in str(err.value)  # lists what it DID find
+
+    def test_truncated_archive_names_missing_keys(self, tmp_path, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        path = save_checkpoint(tmp_path / "full", grid, sim.fields, [sim.particles], 3)
+        data = dict(np.load(path))
+        del data["field_ez"], data["rank0_matrix"]
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(path)
+        assert "field_ez" in str(err.value)
+
+    def test_unsupported_version(self, tmp_path, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        path = save_checkpoint(tmp_path / "v9", grid, sim.fields, [sim.particles], 0)
+        data = dict(np.load(path))
+        data["version"] = np.array([9])
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError, match="version 9"):
+            load_checkpoint(path)
+
+    def test_bad_magic(self, tmp_path, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        path = save_checkpoint(tmp_path / "m", grid, sim.fields, [sim.particles], 0)
+        data = dict(np.load(path))
+        data["format"] = np.array(["other-tool"])
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError, match="format marker"):
+            load_checkpoint(path)
+
+
+class TestAtomicWrite:
+    def test_failed_write_preserves_existing(self, tmp_path, grid, uniform_particles, monkeypatch):
+        """A crash mid-write must leave the previous checkpoint intact."""
+        sim = SequentialPIC(grid, uniform_particles)
+        path = save_checkpoint(tmp_path / "ck", grid, sim.fields, [sim.particles], 1)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            save_checkpoint(path, grid, sim.fields, [sim.particles], 2)
+        assert path.read_bytes() == before
+        assert load_checkpoint(path).iteration == 1
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == [], f"temp litter left behind: {leftovers}"
+
+
+class TestRunState:
+    def test_run_state_and_sort_keys_roundtrip(self, tmp_path, grid, uniform_particles):
+        local = ParticlePartitioner(grid).initial_partition(uniform_particles, 2)
+        from repro.mesh import FieldState
+
+        run_state = {"config": {"nx": grid.nx}, "vm": {"clocks": [0.5, 0.25]}}
+        keys = [np.sort(np.arange(p.n) * 3) for p in local]
+        path = save_checkpoint(
+            tmp_path / "rs", grid, FieldState.zeros(grid), local, 4,
+            run_state=run_state, sort_keys=keys,
+        )
+        data = load_checkpoint(path)
+        assert data.version == 2
+        assert data.run_state == run_state
+        assert data.sort_keys is not None
+        for saved, original in zip(data.sort_keys, keys):
+            assert np.array_equal(saved, original)
+
+    def test_no_run_state_loads_as_none(self, tmp_path, grid, uniform_particles):
+        sim = SequentialPIC(grid, uniform_particles)
+        path = save_checkpoint(tmp_path / "bare", grid, sim.fields, [sim.particles], 0)
+        data = load_checkpoint(path)
+        assert data.run_state is None and data.sort_keys is None
+
+    def test_sort_keys_length_mismatch_rejected(self, tmp_path, grid, uniform_particles):
+        from repro.mesh import FieldState
+
+        with pytest.raises(ValueError):
+            save_checkpoint(
+                tmp_path / "x", grid, FieldState.zeros(grid),
+                [uniform_particles], 0, sort_keys=[np.arange(3), np.arange(3)],
+            )
+
+
+class TestV1Compat:
+    def _write_v1(self, tmp_path, grid, particles):
+        """Craft a legacy v1 archive (pre-run-state format)."""
+        from repro.mesh import FieldState
+
+        fields = FieldState.zeros(grid)
+        payload = {
+            "version": np.array([1]),
+            "meta": np.array([grid.nx, grid.ny, 6, 1], dtype=np.int64),
+            "extent": np.array([grid.lx, grid.ly]),
+            "rank0_matrix": particles.to_matrix(),
+        }
+        for name in (
+            "ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz", "rho",
+        ):
+            payload[f"field_{name}"] = getattr(fields, name)
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **payload)
+        return path
+
+    def test_v1_loads_with_warning(self, tmp_path, grid, uniform_particles):
+        path = self._write_v1(tmp_path, grid, uniform_particles)
+        with pytest.warns(UserWarning, match="format-v1"):
+            data = load_checkpoint(path)
+        assert data.version == 1
+        assert data.iteration == 6
+        assert data.run_state is None
+        assert np.array_equal(data.particles[0].ids, uniform_particles.ids)
+
+    def test_from_checkpoint_rejects_v1(self, tmp_path, grid, uniform_particles):
+        from repro.pic import Simulation
+
+        path = self._write_v1(tmp_path, grid, uniform_particles)
+        with pytest.warns(UserWarning, match="format-v1"):
+            with pytest.raises(CheckpointError, match="v1"):
+                Simulation.from_checkpoint(path)

@@ -33,8 +33,24 @@ class TestToDict:
         assert d["totals"]["total_time"] == pytest.approx(result.total_time)
         assert d["totals"]["overhead"] == pytest.approx(result.overhead)
 
-    def test_machine_name_present(self, result):
-        assert result.to_dict()["config"]["machine"] == "cm5"
+    def test_model_name_present(self, result):
+        # "model" (a SimulationConfig field), not the old "machine" key
+        # that config_from_dict / --config could not accept
+        config = result.to_dict()["config"]
+        assert config["model"] == "cm5"
+        assert "machine" not in config
+
+    def test_config_block_is_complete(self, result):
+        """Every SimulationConfig field appears, so the block replays
+        through config_from_dict to an identical config."""
+        from dataclasses import fields as dataclass_fields
+
+        from repro.pic import config_from_dict
+
+        config = result.to_dict()["config"]
+        assert set(config) == {f.name for f in dataclass_fields(SimulationConfig)}
+        rebuilt = config_from_dict(config)
+        assert rebuilt == result.config
 
 
 class TestSaveJson:
