@@ -371,3 +371,42 @@ def _checkpoint_roundtrip(ctx) -> BenchObservation:
         load_checkpoint(path)
 
     return _observe(sim.vm, body)
+
+
+def _recovery_fixture() -> Path:
+    # The body builds and runs the whole faulted simulation (the bench
+    # runner calls setup once but times every repeat, so the kill +
+    # recovery must happen inside the body); setup only provides a
+    # scratch checkpoint location.
+    return Path(tempfile.mkdtemp(prefix="repro_bench_rec_")) / "ck.npz"
+
+
+@register(
+    "recovery_smoke_p32",
+    suites=("smoke", "full"),
+    tier=1,
+    repeats=3,
+    description="p=32 run with a rank kill at iteration 4: detect, shrink, restore, replay",
+    setup=_recovery_fixture,
+)
+def _recovery_smoke(path: Path) -> BenchObservation:
+    from repro.machine.faults import FaultEvent, FaultPlan
+
+    sim = Simulation(
+        SimulationConfig(
+            nx=_NX,
+            ny=_NY,
+            nparticles=_NPART,
+            p=_P,
+            distribution="irregular",
+            policy="dynamic",
+            seed=_SEED,
+            engine=_engine(),
+        )
+    )
+    sim.install_faults(FaultPlan(events=(FaultEvent(kind="kill", rank=5, iteration=4),)))
+    result = sim.run(6, checkpoint_every=2, checkpoint_path=path)
+    assert result.n_recoveries == 1
+    # recovery swapped sim.vm for the shrunk machine (which carried the
+    # old elapsed/ops forward), so report its cumulative totals directly
+    return BenchObservation(vm_seconds=sim.vm.elapsed(), op_counts=sim.vm.ops.as_dict())

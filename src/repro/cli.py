@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution engine: pooled flat-rank kernels or per-rank loops")
     run.add_argument("--kernel", default="era", choices=["era", "modern"],
                      help="era = paper's CIC + collocated FDTD; modern = Yee + zigzag")
+    run.add_argument("--guards", default="off", choices=["off", "warn", "strict"],
+                     help="invariant guards: warn reports conservation/finiteness "
+                          "violations, strict raises SimulationIntegrityError")
+    run.add_argument("--fault-plan", metavar="FILE.json",
+                     help="inject machine faults from a FaultPlan JSON file "
+                          "(see examples/faults.json); rank kills recover automatically")
     run.add_argument("--json", action="store_true",
                      help="emit a machine-readable JSON summary")
     run.add_argument("--save-json", metavar="PATH",
@@ -86,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("path", help="checkpoint file written by `repro run --checkpoint-every`")
     resume.add_argument("--iterations", type=int, required=True,
                         help="number of further iterations to run")
+    resume.add_argument("--guards", default=None, choices=["off", "warn", "strict"],
+                        help="override the checkpointed guard severity; strict also "
+                             "refuses legacy format-v1 checkpoints")
+    resume.add_argument("--fault-plan", metavar="FILE.json",
+                        help="inject machine faults from a FaultPlan JSON file")
     resume.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON summary")
     resume.add_argument("--save-json", metavar="PATH",
@@ -156,6 +167,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         engine=args.engine,
         seed=args.seed,
         vth=args.vth,
+        guards=args.guards,
     )
     if args.config:
         from dataclasses import fields as dataclass_fields
@@ -199,6 +211,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
             ("partitioning", "partitioning"), ("ghost_table", "ghost_table"),
             ("field_solver", "field_solver"), ("kernel", "kernel"),
             ("engine", "engine"), ("seed", "seed"), ("vth", "vth"),
+            ("guards", "guards"),
         ):
             value = getattr(args, cli_name)
             if value != getattr(defaults, cli_name):
@@ -220,11 +233,27 @@ def _summary_dict(result: SimulationResult) -> dict:
         "overhead": result.overhead,
         "n_redistributions": result.n_redistributions,
         "redistribution_time": result.redistribution_time,
+        "n_recoveries": result.n_recoveries,
+        "recovery_time": result.recovery_time,
         "phase_breakdown": result.phase_breakdown,
         "mean_iteration_time": float(np.mean(result.iteration_times))
         if result.records
         else 0.0,
     }
+
+
+def _load_fault_plan(path: str | None):
+    """Load ``--fault-plan`` JSON into a FaultPlan (or None)."""
+    if path is None:
+        return None
+    from repro.machine.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_json(path)
+    except FileNotFoundError:
+        raise SystemExit(f"fault plan file not found: {path}")
+    except ValueError as exc:
+        raise SystemExit(f"bad fault plan: {exc}")
 
 
 def _checkpoint_args(args: argparse.Namespace, default_path=None):
@@ -254,10 +283,15 @@ def _emit_result(args: argparse.Namespace, result, title: str) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    plan = _load_fault_plan(args.fault_plan)
     every, ck_path = _checkpoint_args(args)
     sim = Simulation(config)
+    if plan is not None:
+        sim.install_faults(plan)
     result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
-    return _emit_result(args, result, f"{args.iterations} iterations, p={config.p}")
+    return _emit_result(
+        args, result, f"{args.iterations} iterations, p={config.p}"
+    )
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -265,13 +299,16 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
     if args.iterations < 0:
         raise SystemExit(f"--iterations must be >= 0, got {args.iterations}")
+    plan = _load_fault_plan(args.fault_plan)
     every, ck_path = _checkpoint_args(args, default_path=args.path)
     try:
-        sim = Simulation.from_checkpoint(args.path)
+        sim = Simulation.from_checkpoint(args.path, guards=args.guards)
     except FileNotFoundError as exc:
         raise SystemExit(str(exc))
     except CheckpointError as exc:
         raise SystemExit(f"cannot resume: {exc}")
+    if plan is not None:
+        sim.install_faults(plan)
     result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
     return _emit_result(
         args,

@@ -17,6 +17,10 @@ substrate:
   received by any processor").
 * :class:`BlockTopology` — 2-D processor grids and neighbour maps for
   halo exchanges.
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic fault
+  injection (rank kills, message drops/duplications/corruptions,
+  per-rank slowdowns) applied at the machine's communication choke
+  points, with retry/timeout/backoff charged to the virtual clocks.
 
 The machine is *bulk-synchronous*: each PIC phase ends in a barrier, so
 per-iteration virtual time is the sum over phases of the slowest rank's
@@ -24,6 +28,7 @@ per-iteration virtual time is the sum over phases of the slowest rank's
 complexity analysis.
 """
 
+from repro.machine.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.machine.model import MachineModel
 from repro.machine.stats import CommStats, PhaseComm
 from repro.machine.topology import BlockTopology, best_process_grid
@@ -38,4 +43,7 @@ __all__ = [
     "BlockTopology",
     "best_process_grid",
     "PhaseTrace",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
 ]

@@ -22,6 +22,27 @@ import numpy as np
 
 from repro.machine.virtual import VirtualMachine
 from repro.util import require
+from repro.util.errors import InvalidRankError
+
+
+def _check_destinations(dest: np.ndarray, p: int, *, who: str) -> None:
+    """Raise a typed error naming the offending destination ranks.
+
+    ``np.take``-based bucketing would otherwise wrap negative ranks and
+    mis-deliver silently; every exchange validates up front instead.
+    """
+    if dest.size == 0:
+        return
+    bad = (dest < 0) | (dest >= p)
+    if bad.any():
+        idx = np.flatnonzero(bad)
+        examples = ", ".join(
+            f"row {i}: dest {dest[i]}" for i in idx[:3]
+        )
+        raise InvalidRankError(
+            f"{who}: destination out of range [0, {p}) "
+            f"for {idx.size} row(s) ({examples})"
+        )
 
 __all__ = [
     "alltoall_concat",
@@ -79,8 +100,7 @@ def exchange_by_destination(
         arr = np.asarray(arrays[r])
         dest = np.asarray(destinations[r], dtype=np.int64)
         require(arr.shape[0] == dest.shape[0], f"rank {r}: array/destination length mismatch")
-        if dest.size and (dest.min() < 0 or dest.max() >= vm.p):
-            raise ValueError(f"rank {r}: destination out of range [0, {vm.p})")
+        _check_destinations(dest, vm.p, who=f"exchange_by_destination rank {r}")
         chunks: dict[int, np.ndarray] = {}
         if dest.size:
             order = np.argsort(dest, kind="stable")
@@ -128,8 +148,7 @@ def exchange_by_destination_pooled(
         rows.shape[0] == destinations.shape[0] == offsets[-1],
         "rows/destinations must cover the pooled segments",
     )
-    if destinations.size and (destinations.min() < 0 or destinations.max() >= vm.p):
-        raise ValueError(f"destination out of range [0, {vm.p})")
+    _check_destinations(destinations, vm.p, who="exchange_by_destination_pooled")
     send: list[dict[int, np.ndarray]] = [dict() for _ in range(vm.p)]
     if destinations.size:
         src = np.repeat(np.arange(vm.p, dtype=np.int64), np.diff(offsets))

@@ -22,6 +22,7 @@ import numpy as np
 from repro.machine.model import MachineModel
 from repro.machine.stats import CommStats
 from repro.util import require
+from repro.util.errors import InvalidRankError
 from repro.util.opcount import OpCounter
 
 __all__ = ["VirtualMachine"]
@@ -63,6 +64,29 @@ class VirtualMachine:
         self.ops = OpCounter()
         self.phase_time: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(self.p))
         self._phase_stack: list[str] = []
+        #: optional :class:`repro.machine.faults.FaultInjector`; ``None``
+        #: (the default) keeps every hot path on a single dormant branch,
+        #: so accounting is bit-identical to a machine without fault
+        #: machinery.
+        self.fault_injector = None
+
+    def install_faults(self, plan) -> "VirtualMachine":
+        """Attach a :class:`~repro.machine.faults.FaultPlan` (or injector).
+
+        Passing ``None`` removes any installed injector.  Returns
+        ``self`` for chaining.
+        """
+        from repro.machine.faults import FaultInjector, FaultPlan
+
+        if plan is None:
+            self.fault_injector = None
+        elif isinstance(plan, FaultInjector):
+            self.fault_injector = plan
+        elif isinstance(plan, FaultPlan):
+            self.fault_injector = FaultInjector(plan)
+        else:
+            raise TypeError(f"expected FaultPlan or FaultInjector, got {type(plan).__name__}")
+        return self
 
     # ------------------------------------------------------------------
     # phases
@@ -96,6 +120,8 @@ class VirtualMachine:
         seconds = np.broadcast_to(np.asarray(seconds, dtype=float), (self.p,))
         if seconds.min() < 0:
             raise ValueError("cannot charge negative time")
+        if self.fault_injector is not None:
+            seconds = self.fault_injector.scale_charge(seconds, kind, self.current_phase)
         self.clocks += seconds
         self.phase_time[self.current_phase] = self.phase_time[self.current_phase] + seconds
         if kind == "compute":
@@ -160,6 +186,11 @@ class VirtualMachine:
         endpoints paying start-up.
         """
         require(len(send) == self.p, f"send must have one entry per rank ({self.p})")
+        injector = self.fault_injector
+        extra_seconds = None
+        if injector is not None:
+            injector.pre_exchange(self)
+            extra_seconds = np.zeros(self.p)
         recv: list[dict[int, np.ndarray]] = [dict() for _ in range(self.p)]
         msgs_out = np.zeros(self.p, dtype=np.int64)
         msgs_in = np.zeros(self.p, dtype=np.int64)
@@ -168,17 +199,27 @@ class VirtualMachine:
         phase = self.current_phase
         for src, chunks in enumerate(send):
             for dst, payload in chunks.items():
-                require(0 <= dst < self.p, f"destination rank {dst} out of range")
-                recv[dst][src] = payload
+                if not 0 <= dst < self.p:
+                    raise InvalidRankError(
+                        f"destination rank {dst} out of range [0, {self.p})"
+                    )
                 if dst == src:
+                    recv[dst][src] = payload
                     continue  # local copy: free, not a message
                 nbytes = payload_nbytes(payload)
+                if injector is not None:
+                    payload = injector.on_message(
+                        self, phase, src, dst, payload, nbytes, extra_seconds
+                    )
+                recv[dst][src] = payload
                 msgs_out[src] += 1
                 bytes_out[src] += nbytes
                 msgs_in[dst] += 1
                 bytes_in[dst] += nbytes
                 self.stats.record_message(phase, src, dst, nbytes)
         seconds = self.model.tau * (msgs_out + msgs_in) + self.model.mu * (bytes_out + bytes_in)
+        if extra_seconds is not None:
+            seconds = seconds + extra_seconds
         self._charge(seconds, kind="comm")
         if sync:
             self.barrier()
@@ -193,12 +234,16 @@ class VirtualMachine:
         ``nbytes_each`` overrides the payload-size estimate per rank.
         """
         require(len(values) == self.p, "values must have one entry per rank")
+        if self.fault_injector is not None:
+            self.fault_injector.pre_exchange(self)
         if nbytes_each is None:
             nbytes_each = np.array([payload_nbytes(v) for v in values], dtype=np.int64)
         else:
             nbytes_each = np.asarray(nbytes_each, dtype=np.int64)
         total = int(nbytes_each.sum())
         cost = self.model.collective_cost(self.p, total)
+        if self.fault_injector is not None:
+            cost += self.fault_injector.on_collective(self, self.current_phase, total)
         self.stats.record_collective(self.current_phase, nbytes_each)
         self._charge(np.full(self.p, cost), kind="comm")
         self.barrier()
@@ -210,6 +255,8 @@ class VirtualMachine:
         Supported ``op``: ``"sum"``, ``"max"``, ``"min"``.
         """
         require(len(arrays) == self.p, "arrays must have one entry per rank")
+        if self.fault_injector is not None:
+            self.fault_injector.pre_exchange(self)
         stack = [np.asarray(a) for a in arrays]
         shapes = {a.shape for a in stack}
         require(len(shapes) == 1, f"all ranks must contribute the same shape, got {shapes}")
@@ -223,6 +270,8 @@ class VirtualMachine:
             raise ValueError(f"unsupported reduction op {op!r}")
         nbytes = stack[0].nbytes
         cost = self.model.collective_cost(self.p, nbytes)
+        if self.fault_injector is not None:
+            cost += self.fault_injector.on_collective(self, self.current_phase, nbytes)
         self.stats.record_collective(self.current_phase, np.full(self.p, nbytes, dtype=np.int64))
         self._charge(np.full(self.p, cost), kind="comm")
         self.barrier()

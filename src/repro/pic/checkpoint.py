@@ -52,6 +52,7 @@ from repro.mesh.fields import FieldState
 from repro.mesh.grid import Grid2D
 from repro.particles.arrays import ParticleArray
 from repro.util import require
+from repro.util.errors import CheckpointError
 
 __all__ = [
     "save_checkpoint",
@@ -63,11 +64,6 @@ __all__ = [
 _FIELD_NAMES = ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz", "rho")
 _FORMAT_VERSION = 2
 _MAGIC = "repro-checkpoint"
-
-
-class CheckpointError(ValueError):
-    """A file is not a valid repro checkpoint (corrupt, truncated, or
-    missing required keys)."""
 
 
 class CheckpointData:
@@ -192,8 +188,13 @@ def _require_keys(path: Path, found: set[str], expected: set[str]) -> None:
         )
 
 
-def load_checkpoint(path: str | Path) -> CheckpointData:
+def load_checkpoint(path: str | Path, *, strict: bool = False) -> CheckpointData:
     """Read a checkpoint written by :func:`save_checkpoint`.
+
+    With ``strict=True`` (what ``--guards strict`` runs use) legacy
+    format-v1 files raise :class:`CheckpointError` instead of loading
+    with a :class:`UserWarning` — a degraded restore is an error, not a
+    caveat, when integrity guarantees were requested.
 
     Raises
     ------
@@ -201,8 +202,9 @@ def load_checkpoint(path: str | Path) -> CheckpointData:
         ``path`` (with or without the ``.npz`` suffix) does not exist.
     CheckpointError
         The file exists but is not a valid repro checkpoint: not an npz
-        archive, truncated, an unsupported version, or missing required
-        keys (the message lists the expected-vs-found diff).
+        archive, truncated, an unsupported version, missing required
+        keys (the message lists the expected-vs-found diff), or a
+        format-v1 file under ``strict=True``.
     """
     path = Path(path)
     if not path.exists():
@@ -231,6 +233,12 @@ def load_checkpoint(path: str | Path) -> CheckpointData:
             )
         version = int(data["version"][0])
         if version == 1:
+            if strict:
+                raise CheckpointError(
+                    f"{path} is a format-v1 checkpoint (particles/fields only); "
+                    "strict guards refuse the degraded load — re-save the run "
+                    "with Simulation.checkpoint to upgrade to v2"
+                )
             return _load_v1(path, data, found)
         if version != _FORMAT_VERSION:
             raise CheckpointError(

@@ -166,6 +166,10 @@ class ParallelPIC:
         self.node_owner = decomp.owner_map
         self.node_counts = decomp.node_counts().astype(float)
         self.iteration = 0
+        #: optional :class:`repro.util.guards.InvariantGuard` checked at
+        #: the phase boundaries of :meth:`step`; ``None`` (default) keeps
+        #: the hot path free of guard work.
+        self.guard = None
         # Ghost schedule of the latest scatter: _ghost_nodes[r][owner] =
         # node ids rank r contributed to that are owned by `owner`.
         self._ghost_nodes: list[dict[int, np.ndarray]] = [dict() for _ in range(vm.p)]
@@ -612,10 +616,21 @@ class ParallelPIC:
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """One full iteration: scatter, field solve, gather, push."""
+        """One full iteration: scatter, field solve, gather, push.
+
+        When an invariant guard is installed it runs after the scatter
+        (deposited sources must be finite) and after the push (particles
+        conserved and finite) — the two points where transport faults or
+        kernel bugs would otherwise silently poison the physics.
+        """
+        guard = self.guard
         self.scatter()
+        if guard is not None:
+            guard.after_scatter(self)
         self.field_solve()
         self.gather_push()
+        if guard is not None:
+            guard.after_push(self)
         self.iteration += 1
 
     # ------------------------------------------------------------------

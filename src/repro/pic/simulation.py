@@ -10,7 +10,7 @@ bytes and max messages) and the end-of-run totals its tables report.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields, replace
 from pathlib import Path
 
 import numpy as np
@@ -23,6 +23,7 @@ from repro.core.policies import (
     policy_spec,
 )
 from repro.core.redistribution import Redistributor
+from repro.machine.faults import FaultInjector, FaultPlan
 from repro.machine.model import MachineModel
 from repro.machine.virtual import VirtualMachine
 from repro.mesh.decomposition import CurveBlockDecomposition, MeshDecomposition, balanced_splits
@@ -32,6 +33,8 @@ from repro.particles.init import gaussian_blob, ring_distribution, two_stream, u
 from repro.pic.checkpoint import CheckpointData, CheckpointError, load_checkpoint, save_checkpoint
 from repro.pic.parallel import ParallelPIC
 from repro.util import require
+from repro.util.errors import RankFailure
+from repro.util.guards import GUARD_MODES, InvariantGuard
 
 __all__ = [
     "SimulationConfig",
@@ -78,8 +81,13 @@ class SimulationConfig:
     nbuckets: int = 16
     vth: float = 0.05  #: thermal momentum spread of the sampler
     density: float = 0.01  #: mean charge density (sets the plasma frequency)
+    guards: str = "off"  #: invariant-guard severity: off | warn | strict
 
     def __post_init__(self) -> None:
+        require(
+            self.guards in GUARD_MODES,
+            f"guards must be one of {GUARD_MODES}, got {self.guards!r}",
+        )
         require(self.distribution in _DISTRIBUTIONS, f"unknown distribution {self.distribution!r}")
         require(
             self.partitioning in ("independent", "grid", "particle", "adaptive"),
@@ -182,6 +190,9 @@ class SimulationResult:
     n_redistributions: int
     redistribution_time: float  #: total virtual seconds spent redistributing
     phase_breakdown: dict[str, float]  #: per-phase max-over-ranks time
+    n_recoveries: int = 0  #: rank failures recovered from
+    recovery_time: float = 0.0  #: virtual seconds spent detecting + recovering
+    final_state: dict | None = None  #: physics summary (Simulation.final_state_summary)
 
     @property
     def overhead(self) -> float:
@@ -222,7 +233,10 @@ class SimulationResult:
                 "overhead": self.overhead,
                 "n_redistributions": self.n_redistributions,
                 "redistribution_time": self.redistribution_time,
+                "n_recoveries": self.n_recoveries,
+                "recovery_time": self.recovery_time,
             },
+            "final_state": self.final_state,
             "phase_breakdown": dict(self.phase_breakdown),
             "series": {
                 "iteration_time": self.iteration_times.tolist(),
@@ -319,6 +333,31 @@ class Simulation:
                 field_solver=config.field_solver,
                 engine=config.engine,
             )
+        #: invariant guard (None when ``config.guards == "off"``: the hot
+        #: paths then carry only dormant ``is None`` branches)
+        self.guard: InvariantGuard | None = None
+        if config.guards != "off":
+            self.guard = InvariantGuard(config.guards)
+            self.guard.capture(self.pic.particles)
+            self.pic.guard = self.guard
+        #: installed fault plan (None = fault-free machine)
+        self.fault_plan: FaultPlan | None = None
+        self.n_recoveries = 0
+        self.recovery_time = 0.0
+        self._last_checkpoint: Path | None = None
+
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan | None) -> "Simulation":
+        """Attach a :class:`~repro.machine.faults.FaultPlan` to the machine.
+
+        With a plan installed, :meth:`run` recovers automatically from
+        :class:`~repro.util.errors.RankFailure` (shrink + restore, see
+        :meth:`_recover`).  Passing ``None`` removes the plan.  Returns
+        ``self`` for chaining.
+        """
+        self.fault_plan = plan
+        self.vm.install_faults(plan)
+        return self
 
     # ------------------------------------------------------------------
     def _build_decomposition(self) -> MeshDecomposition:
@@ -373,6 +412,13 @@ class Simulation:
         With ``checkpoint_every=k`` a checkpoint is written to
         ``checkpoint_path`` (atomically overwritten in place) after every
         ``k``-th completed iteration, counted absolutely.
+
+        When a fault plan is installed (:meth:`install_faults`) and a
+        rank dies, the :class:`~repro.util.errors.RankFailure` is caught
+        here and :meth:`_recover` shrinks the machine to the survivors,
+        restores state, and the loop replays/continues until the target
+        iteration is reached — the recovery overhead stays on the virtual
+        clock.
         """
         require(niters >= 0, "niters must be >= 0")
         if checkpoint_every is not None:
@@ -381,47 +427,205 @@ class Simulation:
                 checkpoint_path is not None,
                 "checkpoint_every requires checkpoint_path",
             )
-        vm = self.vm
-        start = self.iteration
-        for it in range(start, start + niters):
-            t0 = vm.elapsed()
-            self.pic.step()
-            t_iter = vm.elapsed() - t0
-            epoch = vm.stats.snapshot_epoch()
-            scatter = epoch.get("scatter")
-            max_bytes = scatter.max_bytes if scatter is not None else 0
-            max_msgs = scatter.max_msgs if scatter is not None else 0
-            self.policy.record_iteration(it, t_iter)
-            redistributed = False
-            cost = 0.0
-            if (
-                self.redistributor is not None
-                and self.config.movement == "lagrangian"
-                and self.policy.should_redistribute(it)
-            ):
-                result = self.redistributor.redistribute(vm, self.pic.particles)
-                self.pic.particles = result.particles
-                cost = result.cost
-                self.redistribution_time += cost
-                self.n_redistributions += 1
-                redistributed = True
-                self.policy.record_redistribution(it, cost)
-                vm.stats.snapshot_epoch()  # keep redistribution comm out of scatter series
-            elif self.rebalancer is not None and self.policy.should_redistribute(it):
-                cost = self.rebalancer.rebalance(self.pic)
-                self.decomp = self.pic.decomp  # rebalance moved the bounds
-                self.redistribution_time += cost
-                self.n_redistributions += 1
-                redistributed = True
-                self.policy.record_redistribution(it, cost)
-                vm.stats.snapshot_epoch()
-            self.records.append(
-                IterationRecord(it, t_iter, max_bytes, max_msgs, redistributed, cost)
-            )
-            self.iteration = it + 1
-            if checkpoint_every is not None and self.iteration % checkpoint_every == 0:
-                self.checkpoint(checkpoint_path)
+        target = self.iteration + niters
+        while self.iteration < target:
+            vm = self.vm  # rebound after a recovery (the machine shrinks)
+            it = self.iteration
+            injector = vm.fault_injector
+            if injector is not None:
+                injector.set_iteration(it)
+            try:
+                t0 = vm.elapsed()
+                self.pic.step()
+                t_iter = vm.elapsed() - t0
+                epoch = vm.stats.snapshot_epoch()
+                scatter = epoch.get("scatter")
+                max_bytes = scatter.max_bytes if scatter is not None else 0
+                max_msgs = scatter.max_msgs if scatter is not None else 0
+                self.policy.record_iteration(it, t_iter)
+                redistributed = False
+                cost = 0.0
+                if (
+                    self.redistributor is not None
+                    and self.config.movement == "lagrangian"
+                    and self.policy.should_redistribute(it)
+                ):
+                    result = self.redistributor.redistribute(vm, self.pic.particles)
+                    self.pic.particles = result.particles
+                    if self.guard is not None:
+                        self.guard.after_redistribution(result.particles)
+                    cost = result.cost
+                    self.redistribution_time += cost
+                    self.n_redistributions += 1
+                    redistributed = True
+                    self.policy.record_redistribution(it, cost)
+                    vm.stats.snapshot_epoch()  # keep redistribution comm out of scatter series
+                elif self.rebalancer is not None and self.policy.should_redistribute(it):
+                    cost = self.rebalancer.rebalance(self.pic)
+                    self.decomp = self.pic.decomp  # rebalance moved the bounds
+                    if self.guard is not None:
+                        self.guard.after_redistribution(self.pic.particles)
+                    self.redistribution_time += cost
+                    self.n_redistributions += 1
+                    redistributed = True
+                    self.policy.record_redistribution(it, cost)
+                    vm.stats.snapshot_epoch()
+                self.records.append(
+                    IterationRecord(it, t_iter, max_bytes, max_msgs, redistributed, cost)
+                )
+                self.iteration = it + 1
+                if checkpoint_every is not None and self.iteration % checkpoint_every == 0:
+                    self.checkpoint(checkpoint_path)
+            except RankFailure as failure:
+                self._recover(failure)
         return self.result()
+
+    # ------------------------------------------------------------------
+    # rank-failure recovery
+    # ------------------------------------------------------------------
+    def _recover(self, failure: RankFailure) -> None:
+        """Shrink the machine to the survivors and restore run state.
+
+        Two paths, both leaving the run able to continue from
+        :meth:`run`'s loop:
+
+        * **checkpoint restore** — when :meth:`checkpoint` wrote a file
+          this run (or the run came from :meth:`from_checkpoint`), the
+          full state at iteration ``k`` is reloaded, repartitioned onto
+          the ``p - 1`` survivors, and iterations ``k ..`` are replayed.
+          Physics is exact: the final state matches the fault-free run
+          (the atol=1e-12 contract of DESIGN.md §5.3).
+        * **live salvage** — with no checkpoint, the dead rank's
+          particles are recovered from the live pool state and
+          redistributed over the survivors; the current iteration
+          restarts.  Conservation invariants hold, but the state is the
+          mid-step one, so only the invariants — not bit-exactness — are
+          guaranteed.
+
+        The new machine's clocks start at the failed machine's elapsed
+        time (which already includes the detection timeout), so recovery
+        overhead is visible in ``vm.elapsed()`` and, via the
+        ``"recovery"`` / ``"redistribution"`` phase labels, in the phase
+        breakdown.
+        """
+        plan = self.fault_plan
+        if plan is None:  # no plan installed: not recoverable here
+            raise failure
+        old_vm = self.vm
+        dead = failure.rank
+        p_new = old_vm.p - 1
+        if p_new < 1:
+            raise failure
+        t_fail = old_vm.elapsed()  # includes the charged detection timeout
+
+        # -- shrink the machine, carrying the accumulated time forward --
+        cfg = replace(self.config, p=p_new)
+        vm = VirtualMachine(p_new, cfg.model)
+        vm.clocks[:] = t_fail
+        vm.compute_time[:] = float(old_vm.compute_time.max())
+        vm.comm_time[:] = float(old_vm.comm_time.max())
+        for name, t in old_vm.phase_time.items():
+            vm.phase_time[name] = np.full(p_new, float(t.max()))
+        vm.ops.load_dict(old_vm.ops.as_dict())
+        survivor_plan = plan.survivor_plan(dead)
+        vm.install_faults(survivor_plan)
+        injector = vm.fault_injector
+        if injector is not None:
+            injector.set_iteration(self.iteration)
+        self.config = cfg
+        self.vm = vm
+        self.fault_plan = survivor_plan
+        self.decomp = self._build_decomposition()
+
+        # -- recover the physical + control state --------------------------
+        data = None
+        if self._last_checkpoint is not None:
+            try:
+                data = load_checkpoint(self._last_checkpoint)
+            except (FileNotFoundError, CheckpointError):
+                data = None
+        if data is not None and data.run_state is not None:
+            rs = data.run_state
+            all_parts = data.all_particles()
+            fields = data.fields
+            restart_iteration = data.iteration
+            self.policy = policy_from_state(rs["policy"])
+            self.records = [IterationRecord(**r) for r in rs["records"]]
+            self.n_redistributions = int(rs["n_redistributions"])
+            self.redistribution_time = float(rs["redistribution_time"])
+            self._setup_cost = float(rs["setup_cost"])
+            # survivors re-read the checkpoint from stable storage: one
+            # broadcast of the full state, charged under "recovery"
+            nbytes = int(all_parts.to_matrix().nbytes) + sum(
+                getattr(fields, n).nbytes
+                for n in ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz", "rho")
+            )
+            with vm.phase("recovery"):
+                vm.charge_comm_seconds(vm.model.collective_cost(p_new, nbytes))
+        else:
+            # live salvage: the pool state (including the dead rank's
+            # partition) is still addressable; survivors agree on the
+            # salvage in one small coordination round and restart the
+            # interrupted iteration.
+            all_parts = ParticleArray.concat(self.pic.particles)
+            fields = self.pic.fields
+            restart_iteration = self.iteration
+            with vm.phase("recovery"):
+                vm.charge_comm_seconds(vm.model.collective_cost(p_new, 8))
+
+        # -- repartition onto the survivors --------------------------------
+        if cfg.partitioning == "grid" or cfg.movement == "eulerian":
+            cells = self.grid.cell_id_of_positions(all_parts.x, all_parts.y)
+            owners = self.decomp.owner_of_cells(cells)
+            local = [all_parts.take(np.flatnonzero(owners == r)) for r in range(p_new)]
+        else:
+            splits = balanced_splits(all_parts.n, p_new)
+            local = [
+                all_parts.take(np.arange(splits[r], splits[r + 1])) for r in range(p_new)
+            ]
+        self.rebalancer = None
+        if cfg.partitioning == "adaptive":
+            from repro.core.adaptive import AdaptiveMeshRebalancer
+
+            self.rebalancer = AdaptiveMeshRebalancer(self.grid, cfg.scheme)
+        self.redistributor = None
+        if cfg.movement == "lagrangian":
+            self.redistributor = Redistributor(self.partitioner, nbuckets=cfg.nbuckets)
+            local = self.redistributor.initialize(vm, local).particles
+
+        # -- rebuild the stepper on the shrunk machine ----------------------
+        if cfg.kernel == "modern":
+            from repro.pic.parallel_yee import ParallelYeePIC
+
+            self.pic = ParallelYeePIC(
+                vm,
+                self.grid,
+                self.decomp,
+                local,
+                dt=cfg.dt,
+                ghost_table=cfg.ghost_table,
+            )
+        else:
+            self.pic = ParallelPIC(
+                vm,
+                self.grid,
+                self.decomp,
+                local,
+                dt=cfg.dt,
+                ghost_table=cfg.ghost_table,
+                movement=cfg.movement,
+                field_solver=cfg.field_solver,
+                engine=cfg.engine,
+            )
+        self.pic.fields = fields
+        self.pic.iteration = restart_iteration
+        self.iteration = restart_iteration
+        if self.guard is not None:
+            self.pic.guard = self.guard
+            self.guard.after_redistribution(self.pic.particles)
+        vm.stats.snapshot_epoch()  # keep recovery comm out of the scatter series
+        self.n_recoveries += 1
+        self.recovery_time += (vm.elapsed() - t_fail) + plan.detect_timeout
 
     def result(self) -> SimulationResult:
         """The :class:`SimulationResult` of the history run so far."""
@@ -434,7 +638,40 @@ class Simulation:
             n_redistributions=self.n_redistributions,
             redistribution_time=self.redistribution_time,
             phase_breakdown=vm.phase_breakdown(),
+            n_recoveries=self.n_recoveries,
+            recovery_time=self.recovery_time,
+            final_state=self.final_state_summary(),
         )
+
+    def final_state_summary(self) -> dict:
+        """Rank-count-independent physics summary of the current state.
+
+        Every particle reduction sums in a deterministic order (sorted by
+        persistent particle id), so the summary of a run that shrank from
+        ``p`` to ``p - 1`` ranks is comparable at tight tolerance to the
+        fault-free run's — the atol=1e-12 recovery contract of
+        DESIGN.md §5.3 is stated on exactly these numbers.
+        """
+        parts = ParticleArray.concat(self.pic.particles)
+        order = np.argsort(parts.ids, kind="stable")
+        f = self.pic.fields
+
+        def ordered_sum(a: np.ndarray) -> float:
+            return float(np.sum(a[order]))
+
+        return {
+            "iteration": int(self.iteration),
+            "n_particles": int(parts.n),
+            "total_charge": ordered_sum(parts.q),
+            "x_sum": ordered_sum(parts.x),
+            "y_sum": ordered_sum(parts.y),
+            "ux_sum": ordered_sum(parts.ux),
+            "uy_sum": ordered_sum(parts.uy),
+            "uz_sum": ordered_sum(parts.uz),
+            "rho_sum": float(np.sum(f.rho)),
+            "e_energy": float(np.sum(f.ex**2 + f.ey**2 + f.ez**2)),
+            "b_energy": float(np.sum(f.bx**2 + f.by**2 + f.bz**2)),
+        }
 
     # ------------------------------------------------------------------
     # exact-resume checkpoint / restart
@@ -457,6 +694,8 @@ class Simulation:
             "records": [asdict(r) for r in self.records],
             "n_redistributions": self.n_redistributions,
             "redistribution_time": self.redistribution_time,
+            "n_recoveries": self.n_recoveries,
+            "recovery_time": self.recovery_time,
             "setup_cost": self._setup_cost,
             # the *live* decomposition: adaptive rebalancing swaps it at
             # runtime (pic.decomp), which Simulation.decomp tracks
@@ -465,7 +704,7 @@ class Simulation:
         sort_keys = (
             self.redistributor.export_keys() if self.redistributor is not None else None
         )
-        return save_checkpoint(
+        written = save_checkpoint(
             path,
             self.grid,
             self.pic.fields,
@@ -474,25 +713,40 @@ class Simulation:
             run_state=run_state,
             sort_keys=sort_keys,
         )
+        self._last_checkpoint = written  # rank-failure recovery restores from here
+        return written
 
     @classmethod
-    def from_checkpoint(cls, path: str | Path) -> "Simulation":
+    def from_checkpoint(cls, path: str | Path, *, guards: str | None = None) -> "Simulation":
         """Rebuild a :class:`Simulation` from a v2 checkpoint, exactly.
 
         The configuration embedded in the checkpoint reconstructs the
         stack deterministically; every piece of mutable state is then
         overwritten from the archive, so continuing with :meth:`run`
         reproduces the uninterrupted run bit-for-bit.
+
+        ``guards`` overrides the checkpointed guard severity; with
+        ``guards="strict"`` a legacy format-v1 file is refused with
+        :class:`CheckpointError` instead of loading degraded.
         """
-        data = load_checkpoint(path)
+        if guards is not None:
+            require(
+                guards in GUARD_MODES,
+                f"guards must be one of {GUARD_MODES}, got {guards!r}",
+            )
+        data = load_checkpoint(path, strict=(guards == "strict"))
         if data.run_state is None:
             raise CheckpointError(
                 f"{path} is a format-v1 checkpoint (particles/fields only) and "
                 "cannot seed an exact resume; re-save the run with "
                 "Simulation.checkpoint to get a v2 file"
             )
-        sim = cls(config_from_dict(data.run_state["config"]))
+        cfg = config_from_dict(data.run_state["config"])
+        if guards is not None and guards != cfg.guards:
+            cfg = replace(cfg, guards=guards)
+        sim = cls(cfg)
         sim._restore(data)
+        sim._last_checkpoint = Path(path)
         return sim
 
     def _restore(self, data: CheckpointData) -> None:
@@ -530,3 +784,6 @@ class Simulation:
         self.records = [IterationRecord(**r) for r in rs["records"]]
         self.n_redistributions = int(rs["n_redistributions"])
         self.redistribution_time = float(rs["redistribution_time"])
+        # keys absent from checkpoints written before fault tolerance
+        self.n_recoveries = int(rs.get("n_recoveries", 0))
+        self.recovery_time = float(rs.get("recovery_time", 0.0))

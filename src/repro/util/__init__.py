@@ -13,6 +13,15 @@ These helpers keep the rest of the library free of boilerplate:
 from repro.util.rng import as_rng
 from repro.util.validation import require, require_positive, require_type
 from repro.util.opcount import OpCounter
+from repro.util.errors import (
+    CheckpointError,
+    FaultError,
+    InvalidRankError,
+    MessageLost,
+    RankFailure,
+    ReproError,
+    SimulationIntegrityError,
+)
 
 __all__ = [
     "as_rng",
@@ -20,4 +29,11 @@ __all__ = [
     "require_positive",
     "require_type",
     "OpCounter",
+    "ReproError",
+    "FaultError",
+    "RankFailure",
+    "MessageLost",
+    "SimulationIntegrityError",
+    "CheckpointError",
+    "InvalidRankError",
 ]

@@ -1,0 +1,93 @@
+"""Structured exception taxonomy for the whole library.
+
+Every error the runtime can *recover from or reason about* derives from
+:class:`ReproError`, so drivers can distinguish "the environment
+misbehaved" (:class:`FaultError` and friends — retry, shrink, restore)
+from "the program is wrong" (plain ``ValueError`` / ``TypeError`` from
+argument validation):
+
+* :class:`FaultError` — injected or detected machine faults.
+
+  * :class:`RankFailure` — a rank stopped responding; carries the dead
+    rank, the iteration, and the phase in which detection happened.
+    ``Simulation.run`` catches this and triggers automatic recovery.
+  * :class:`MessageLost` — a message could not be delivered within the
+    transport's retry budget.
+
+* :class:`SimulationIntegrityError` — an invariant guard
+  (:mod:`repro.util.guards`) found corrupted physics: lost particles,
+  non-conserved charge, or NaN/Inf in state arrays.
+* :class:`CheckpointError` — a checkpoint file is unusable (corrupt,
+  truncated, wrong version).  Subclasses ``ValueError`` as well for
+  backwards compatibility with callers that caught the old type.
+* :class:`InvalidRankError` — a rank index outside ``[0, p)`` reached a
+  communication primitive.  Also a ``ValueError`` so pre-existing
+  ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FaultError",
+    "RankFailure",
+    "MessageLost",
+    "SimulationIntegrityError",
+    "CheckpointError",
+    "InvalidRankError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by this library."""
+
+
+class FaultError(ReproError):
+    """A machine fault: injected by a fault plan or detected at runtime."""
+
+
+class RankFailure(FaultError):
+    """A rank stopped responding and was declared dead.
+
+    Attributes
+    ----------
+    rank:
+        The failed rank (numbered in the machine where it failed).
+    iteration:
+        Iteration at which the failure was detected (-1 outside a run).
+    phase:
+        Virtual-machine phase label active at detection time.
+    """
+
+    def __init__(self, rank: int, iteration: int = -1, phase: str = "default") -> None:
+        self.rank = rank
+        self.iteration = iteration
+        self.phase = phase
+        super().__init__(
+            f"rank {rank} failed (detected at iteration {iteration}, phase {phase!r})"
+        )
+
+
+class MessageLost(FaultError):
+    """A message exhausted the transport's retry budget."""
+
+    def __init__(self, src: int, dst: int, attempts: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+        super().__init__(
+            f"message {src} -> {dst} lost after {attempts} transmission attempts"
+        )
+
+
+class SimulationIntegrityError(ReproError):
+    """An invariant guard found corrupted physics state."""
+
+
+class CheckpointError(ReproError, ValueError):
+    """A file is not a valid repro checkpoint (corrupt, truncated, or
+    missing required keys)."""
+
+
+class InvalidRankError(ReproError, ValueError):
+    """A destination or source rank index is outside ``[0, p)``."""

@@ -1,0 +1,231 @@
+"""Chaos-matrix and rank-failure-recovery tests (DESIGN.md §5.3).
+
+The contract under test: whatever fault the plan injects, the run either
+finishes with a state satisfying the same conservation invariants as an
+undisturbed run — bit-exact transport recovery for drop/duplicate/
+corrupt, atol=1e-12 checkpoint-restore recovery for rank kills — or it
+raises a typed exception.  Never a silent wrong answer.
+"""
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.machine import FaultEvent, FaultPlan
+from repro.pic import Simulation, SimulationConfig
+from repro.util.errors import FaultError, ReproError, SimulationIntegrityError
+
+_BASE = dict(
+    nx=32,
+    ny=16,
+    nparticles=2048,
+    p=6,
+    distribution="irregular",
+    policy="periodic:5",
+    seed=1,
+)
+_NITERS = 12
+_KILL_ITER = 7
+
+_SUMMARY_KEYS = (
+    "total_charge",
+    "x_sum",
+    "y_sum",
+    "ux_sum",
+    "uy_sum",
+    "uz_sum",
+    "rho_sum",
+    "e_energy",
+    "b_energy",
+)
+
+
+def _config(**kw):
+    merged = dict(_BASE)
+    merged.update(kw)
+    return SimulationConfig(**merged)
+
+
+def _fault_free(engine):
+    return Simulation(_config(engine=engine)).run(_NITERS)
+
+
+def _assert_summaries_close(actual, expected, atol=1e-12):
+    assert actual["n_particles"] == expected["n_particles"]
+    for key in _SUMMARY_KEYS:
+        assert actual[key] == pytest.approx(expected[key], abs=atol), key
+
+
+_FAULTS = {
+    "drop": FaultEvent(kind="drop", src=0, iteration=4),
+    "duplicate": FaultEvent(kind="duplicate", src=2, dst=1, iteration=5),
+    "corrupt": FaultEvent(kind="corrupt", dst=3, iteration=6, phase="gather"),
+    "rank-kill": FaultEvent(kind="kill", rank=2, iteration=_KILL_ITER),
+}
+
+
+class TestChaosMatrix:
+    """{flat, looped} x {drop, duplicate, corrupt, rank-kill} x {warn, strict}."""
+
+    @pytest.mark.parametrize("engine", ["flat", "looped"])
+    @pytest.mark.parametrize("fault", sorted(_FAULTS))
+    @pytest.mark.parametrize("guards", ["warn", "strict"])
+    def test_exact_recovery_or_typed_error(self, engine, fault, guards, tmp_path):
+        reference = _fault_free(engine)
+        sim = Simulation(_config(engine=engine, guards=guards))
+        sim.install_faults(FaultPlan(events=(_FAULTS[fault],)))
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", UserWarning)
+                result = sim.run(
+                    _NITERS,
+                    checkpoint_every=3,
+                    checkpoint_path=tmp_path / "ck.npz",
+                )
+        except ReproError:
+            return  # a typed failure is an acceptable outcome; silence is not
+        # the run finished: it must carry the fault on the clock and
+        # match the fault-free physics
+        assert result.total_time > reference.total_time
+        _assert_summaries_close(result.final_state, reference.final_state)
+        assert sim.guard.violations == []
+        if fault == "rank-kill":
+            assert result.n_recoveries == 1
+            assert sim.config.p == _BASE["p"] - 1
+        else:
+            assert result.n_recoveries == 0
+
+    @pytest.mark.parametrize("guards", ["warn", "strict"])
+    def test_poison_never_silent(self, guards):
+        """Undetectable transport corruption must surface through guards."""
+        sim = Simulation(_config(guards=guards))
+        sim.install_faults(
+            FaultPlan(events=(FaultEvent(kind="poison", iteration=3, phase="scatter"),))
+        )
+        if guards == "strict":
+            with pytest.raises(SimulationIntegrityError):
+                sim.run(_NITERS)
+        else:
+            with pytest.warns(UserWarning, match="invariant violation"):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    try:
+                        sim.run(5)
+                    except ReproError:
+                        pass
+            assert sim.guard.violations
+
+
+class TestCheckpointRecoveryEquivalence:
+    """The acceptance contract: kill at iteration k with checkpoint_every
+    <= k finishes identical (atol=1e-12) to the fault-free run."""
+
+    @pytest.mark.parametrize("engine", ["flat", "looped"])
+    def test_recovery_matches_fault_free(self, engine, tmp_path):
+        reference = _fault_free(engine)
+        sim = Simulation(_config(engine=engine))
+        sim.install_faults(
+            FaultPlan(events=(FaultEvent(kind="kill", rank=2, iteration=_KILL_ITER),))
+        )
+        result = sim.run(_NITERS, checkpoint_every=3, checkpoint_path=tmp_path / "ck.npz")
+        assert result.n_recoveries == 1
+        assert sim.config.p == _BASE["p"] - 1
+        assert result.final_state["iteration"] == _NITERS
+        _assert_summaries_close(result.final_state, reference.final_state)
+
+    @pytest.mark.parametrize("engine", ["flat", "looped"])
+    def test_recovery_time_on_the_clock(self, engine, tmp_path):
+        reference = _fault_free(engine)
+        sim = Simulation(_config(engine=engine))
+        plan = FaultPlan(events=(FaultEvent(kind="kill", rank=2, iteration=_KILL_ITER),))
+        sim.install_faults(plan)
+        result = sim.run(_NITERS, checkpoint_every=3, checkpoint_path=tmp_path / "ck.npz")
+        # detection + restore + replay all stay on the virtual clock ...
+        assert result.total_time > reference.total_time
+        assert result.recovery_time > plan.detect_timeout
+        # ... and detection/restore are visible in the phase breakdown
+        assert result.phase_breakdown["recovery"] >= plan.detect_timeout
+
+    def test_live_salvage_without_checkpoint(self):
+        """No checkpoint: the dead rank's particles are redistributed from
+        the live pool; conservation invariants must still hold."""
+        sim = Simulation(_config(guards="strict"))
+        sim.install_faults(
+            FaultPlan(events=(FaultEvent(kind="kill", rank=3, iteration=6),))
+        )
+        result = sim.run(_NITERS)
+        assert result.n_recoveries == 1
+        assert sim.config.p == _BASE["p"] - 1
+        assert sim.guard.violations == []
+        fs = result.final_state
+        assert fs["n_particles"] == _BASE["nparticles"]
+        assert fs["iteration"] == _NITERS
+
+    def test_double_failure(self, tmp_path):
+        """Two kills at different iterations: shrink twice, still exact."""
+        reference = _fault_free("flat")
+        sim = Simulation(_config())
+        sim.install_faults(
+            FaultPlan(
+                events=(
+                    FaultEvent(kind="kill", rank=1, iteration=5),
+                    FaultEvent(kind="kill", rank=4, iteration=9),
+                )
+            )
+        )
+        result = sim.run(_NITERS, checkpoint_every=2, checkpoint_path=tmp_path / "ck.npz")
+        assert result.n_recoveries == 2
+        assert sim.config.p == _BASE["p"] - 2
+        _assert_summaries_close(result.final_state, reference.final_state)
+
+    def test_unrecoverable_without_plan_propagates(self):
+        """RankFailure with no plan installed must not be swallowed."""
+        from repro.machine.faults import FaultInjector
+
+        sim = Simulation(_config())
+        # install an injector directly on the machine, bypassing
+        # Simulation.install_faults — the driver has no plan to recover with
+        sim.vm.install_faults(
+            FaultInjector(FaultPlan(events=(FaultEvent(kind="kill", rank=0, iteration=2),)))
+        )
+        with pytest.raises(FaultError):
+            sim.run(_NITERS)
+
+
+class TestZeroCostWhenOff:
+    """With no faults and guards off, the machinery must be invisible."""
+
+    def test_accounting_bit_identical_with_empty_plan(self):
+        plain = Simulation(_config())
+        wired = Simulation(_config())
+        wired.install_faults(FaultPlan())  # installed but empty
+        r_plain, r_wired = plain.run(6), wired.run(6)
+        assert r_plain.total_time == r_wired.total_time
+        assert plain.vm.state_dict() == wired.vm.state_dict()
+
+    def test_guard_overhead_under_two_percent(self):
+        """Guards-off wall time within 2% of a build-equivalent baseline.
+
+        Interleaved min-of-N on the same machine (a cross-machine
+        comparison against committed numbers would measure the hardware,
+        not the code).  The baseline body is the identical simulation
+        with the identical dormant branches, so this pins the *relative*
+        cost of the fault/guard wiring at zero faults + guards off.
+        """
+
+        def once(install_empty_plan):
+            sim = Simulation(_config(nparticles=4096, p=8))
+            if install_empty_plan:
+                sim.install_faults(FaultPlan())
+            t0 = time.perf_counter()
+            sim.run(4)
+            return time.perf_counter() - t0
+
+        for _ in range(3):  # measurement rounds: pass on the first quiet one
+            base = min(once(False) for _ in range(3))
+            wired = min(once(True) for _ in range(3))
+            if wired <= base * 1.02:
+                return
+        pytest.fail(f"fault machinery overhead above 2%: {wired:.4f}s vs {base:.4f}s")
