@@ -373,6 +373,47 @@ def _checkpoint_roundtrip(ctx) -> BenchObservation:
     return _observe(sim.vm, body)
 
 
+def _telemetry_config() -> SimulationConfig:
+    return SimulationConfig(
+        nx=_NX,
+        ny=_NY,
+        nparticles=_NPART,
+        p=_P,
+        distribution="irregular",
+        policy="dynamic",
+        seed=_SEED,
+        engine=_engine(),
+    )
+
+
+@register(
+    "telemetry_overhead_p32",
+    suites=("smoke", "full"),
+    tier=1,
+    repeats=3,
+    description="6 iterations twice: telemetry off, then traced (spans + metrics); "
+    "gates the enabled-mode overhead",
+    setup=lambda: None,
+)
+def _telemetry_overhead(_ctx) -> BenchObservation:
+    # Both runs live in the timed body so the case's wall-clock tracks
+    # the *sum* of the plain and the instrumented run — a telemetry hot
+    # path that stops being near-free shows up as a tier-1 wall
+    # regression here.  The virtual axes come from the traced run, which
+    # must match the plain one exactly (zero-cost contract).
+    plain = Simulation(_telemetry_config())
+    traced = Simulation(_telemetry_config())
+    traced.enable_telemetry()
+    plain.run(6)
+    traced.run(6)
+    assert traced.vm.elapsed() == plain.vm.elapsed()
+    traced.telemetry.metrics_lines()
+    traced.telemetry.tracer.to_chrome()
+    return BenchObservation(
+        vm_seconds=traced.vm.elapsed(), op_counts=traced.vm.ops.as_dict()
+    )
+
+
 def _recovery_fixture() -> Path:
     # The body builds and runs the whole faulted simulation (the bench
     # runner calls setup once but times every repeat, so the kill +

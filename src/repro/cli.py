@@ -8,6 +8,8 @@ Usage examples::
     python -m repro run --iterations 100 \
         --checkpoint-every 25 --checkpoint-path run.ckpt.npz
     python -m repro resume run.ckpt.npz --iterations 100
+    python -m repro run --iterations 100 --trace run.trace.json --metrics run.jsonl
+    python -m repro report run.jsonl --trace run.trace.json
     python -m repro scenarios
     python -m repro schemes
     python -m repro bench run --suite smoke --json
@@ -85,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write an exact-resume checkpoint after every K iterations")
     run.add_argument("--checkpoint-path", metavar="PATH",
                      help="checkpoint file (.npz) written by --checkpoint-every")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a Perfetto/Chrome trace JSON of every "
+                          "(iteration, phase, rank) span on the virtual clocks")
+    run.add_argument("--metrics", metavar="PATH",
+                     help="write per-iteration metrics JSONL (load imbalance, "
+                          "comm tallies, SAR decisions, events)")
 
     resume = sub.add_parser(
         "resume", help="resume a checkpointed run exactly where it left off"
@@ -105,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="keep checkpointing every K iterations while resumed")
     resume.add_argument("--checkpoint-path", metavar="PATH",
                         help="checkpoint file for --checkpoint-every (default: resume source)")
+    resume.add_argument("--trace", metavar="PATH",
+                        help="write a Perfetto/Chrome trace JSON of the resumed run")
+    resume.add_argument("--metrics", metavar="PATH",
+                        help="write per-iteration metrics JSONL of the resumed run")
+
+    report = sub.add_parser(
+        "report",
+        help="render a telemetry report from metrics JSONL (and optionally a trace)",
+    )
+    report.add_argument("metrics", nargs="+",
+                        help="metrics JSONL file(s) written by `run --metrics`; "
+                             "two or more adds a side-by-side comparison")
+    report.add_argument("--trace", metavar="PATH",
+                        help="trace JSON written by `run --trace` (cross-checked "
+                             "against the first metrics file)")
 
     sub.add_parser("scenarios", help="list the paper's experiment configurations")
     sub.add_parser("schemes", help="list registered indexing schemes")
@@ -281,6 +304,24 @@ def _emit_result(args: argparse.Namespace, result, title: str) -> int:
     return 0
 
 
+def _maybe_enable_telemetry(sim: Simulation, args: argparse.Namespace) -> None:
+    """Turn on telemetry when ``--trace`` / ``--metrics`` was given."""
+    if args.trace or args.metrics:
+        sim.enable_telemetry()
+
+
+def _save_telemetry(sim: Simulation, args: argparse.Namespace) -> None:
+    """Write the telemetry artifacts requested on the command line."""
+    if sim.telemetry is None:
+        return
+    if args.trace:
+        path = sim.telemetry.save_trace(args.trace)
+        print(f"[trace written to {path}]", file=sys.stderr)
+    if args.metrics:
+        path = sim.telemetry.save_metrics(args.metrics)
+        print(f"[metrics written to {path}]", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     plan = _load_fault_plan(args.fault_plan)
@@ -288,7 +329,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sim = Simulation(config)
     if plan is not None:
         sim.install_faults(plan)
+    _maybe_enable_telemetry(sim, args)
     result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
+    _save_telemetry(sim, args)
     return _emit_result(
         args, result, f"{args.iterations} iterations, p={config.p}"
     )
@@ -309,12 +352,26 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot resume: {exc}")
     if plan is not None:
         sim.install_faults(plan)
+    _maybe_enable_telemetry(sim, args)
     result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
+    _save_telemetry(sim, args)
     return _emit_result(
         args,
         result,
         f"resumed +{args.iterations} iterations (total {sim.iteration}), p={sim.config.p}",
     )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry import TelemetrySchemaError, report_from_files
+
+    try:
+        print(report_from_files(args.metrics, trace_path=args.trace))
+    except FileNotFoundError as exc:
+        raise SystemExit(f"telemetry file not found: {exc.filename or exc}")
+    except TelemetrySchemaError as exc:
+        raise SystemExit(f"bad telemetry file: {exc}")
+    return 0
 
 
 def _cmd_scenarios() -> int:
@@ -480,6 +537,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "scenarios":
         return _cmd_scenarios()
     if args.command == "schemes":

@@ -36,6 +36,15 @@ class RedistributionPolicy(ABC):
 
     name: str = "abstract"
 
+    #: Optional telemetry sink: a callable receiving one dict per
+    #: :meth:`should_redistribute` evaluation (the decision inputs and
+    #: the verdict).  ``None`` (the default) keeps the decision path on
+    #: a single dormant branch — policies never pay for telemetry that
+    #: is not attached.  The sink is transient observer state: it is
+    #: *not* serialized by :meth:`state_dict` and must be re-wired after
+    #: a checkpoint restore.
+    decision_sink = None
+
     @abstractmethod
     def should_redistribute(self, iteration: int) -> bool:
         """Return True to trigger redistribution after ``iteration``."""
@@ -84,7 +93,17 @@ class PeriodicPolicy(RedistributionPolicy):
         self.period = period
 
     def should_redistribute(self, iteration: int) -> bool:
-        return (iteration + 1) % self.period == 0
+        fired = (iteration + 1) % self.period == 0
+        if self.decision_sink is not None:
+            self.decision_sink(
+                {
+                    "policy": self.name,
+                    "iteration": iteration,
+                    "period": self.period,
+                    "fired": fired,
+                }
+            )
+        return fired
 
     def state_dict(self) -> dict:
         return {"type": type(self).__name__, "period": self.period}
@@ -128,15 +147,44 @@ class DynamicSARPolicy(RedistributionPolicy):
         self._t1 = t_iter
 
     def should_redistribute(self, iteration: int) -> bool:
+        fired = False
+        rise: float | None = None
+        saved: float | None = None
+        window: int | None = None
         if self._i0 is None or self._i1 is None:
-            return False
-        if self._i1 <= self._i0:
-            return False  # need at least one iteration since the last redistribution
-        rise = self._t1 - self._t0
-        if rise <= 0.0:
-            return False
-        saved = rise * (self._i1 - self._i0)
-        return saved >= self.redistribution_cost
+            reason = "no iteration observed since the last redistribution"
+        elif self._i1 <= self._i0:
+            reason = "window too short: need an iteration after i0"
+        else:
+            rise = self._t1 - self._t0
+            window = self._i1 - self._i0
+            if rise <= 0.0:
+                reason = "iteration time has not risen"
+            else:
+                saved = rise * window
+                fired = saved >= self.redistribution_cost
+                reason = None
+        if self.decision_sink is not None:
+            # One record per evaluation, carrying every Eq. 1 input so a
+            # reader can replay `(t1 - t0)(i1 - i0) >= T_redistribution`
+            # and reproduce the verdict exactly.
+            self.decision_sink(
+                {
+                    "policy": self.name,
+                    "iteration": iteration,
+                    "i0": self._i0,
+                    "i1": self._i1,
+                    "t0": self._t0,
+                    "t1": self._t1,
+                    "rise": rise,
+                    "window": window,
+                    "projected_saving": saved,
+                    "threshold": self.redistribution_cost,
+                    "fired": fired,
+                    "reason": reason,
+                }
+            )
+        return fired
 
     def record_redistribution(self, iteration: int, cost: float) -> None:
         self.redistribution_cost = float(cost)

@@ -78,6 +78,15 @@ class PhaseComm:
         """Total messages sent across all ranks."""
         return int(self.msgs_sent.sum())
 
+    def to_dict(self) -> dict:
+        """The paper's reported quantities as a JSON-serializable dict."""
+        return {
+            "msgs": self.total_msgs,
+            "bytes": self.total_bytes,
+            "max_msgs": self.max_msgs,
+            "max_bytes": self.max_bytes,
+        }
+
 
 class CommStats:
     """Accumulates :class:`PhaseComm` records keyed by phase label.

@@ -23,15 +23,46 @@ class PhaseTrace:
     Call :meth:`snapshot` once per iteration; each snapshot stores the
     *increment* of every phase's max-over-ranks time since the previous
     snapshot.
+
+    The machine binding is rebindable: rank-failure recovery replaces
+    the simulation's :class:`VirtualMachine` with a shrunk one whose
+    phase tables carry the accumulated maxima forward, so
+    :meth:`rebind` keeps the increment stream continuous across the
+    swap (no stale-machine reads, no double-counted time).  A trace can
+    also be built without any machine (``vm=None`` /
+    :meth:`from_rows`) to re-render rows recovered from a metrics file
+    or a checkpoint.
     """
 
-    def __init__(self, vm: VirtualMachine) -> None:
+    def __init__(self, vm: VirtualMachine | None = None) -> None:
         self.vm = vm
-        self._last: dict[str, float] = {}
+        # Baseline at the machine's current breakdown: time charged
+        # before the trace existed (setup, restored checkpoints) belongs
+        # to no iteration row.
+        self._last: dict[str, float] = vm.phase_breakdown() if vm is not None else {}
         self.rows: list[dict[str, float]] = []
+
+    @classmethod
+    def from_rows(cls, rows: list[dict]) -> "PhaseTrace":
+        """Rebuild a trace from previously recorded increment rows."""
+        trace = cls(None)
+        trace.rows = [{str(k): float(v) for k, v in row.items()} for row in rows]
+        return trace
+
+    def rebind(self, vm: VirtualMachine) -> None:
+        """Continue the trace on ``vm`` (e.g. after a recovery shrink).
+
+        The shrunk machine's phase tables are seeded with the failed
+        machine's maxima, so the running-increment baseline stays valid:
+        the next :meth:`snapshot` row picks up exactly the detection,
+        recovery, and replay time charged since the last snapshot —
+        nothing lost to the swap, nothing double-counted.
+        """
+        self.vm = vm
 
     def snapshot(self) -> dict[str, float]:
         """Record and return this iteration's per-phase time increments."""
+        require(self.vm is not None, "trace has no machine bound (vm=None)")
         current = self.vm.phase_breakdown()
         increment = {
             phase: current.get(phase, 0.0) - self._last.get(phase, 0.0)

@@ -69,6 +69,13 @@ class VirtualMachine:
         #: so accounting is bit-identical to a machine without fault
         #: machinery.
         self.fault_injector = None
+        #: optional :class:`repro.telemetry.spans.SpanTracer`; when set,
+        #: :meth:`phase` reports each (phase, rank) clock interval to it.
+        #: Like the fault injector, ``None`` (the default) leaves a single
+        #: dormant branch on the phase path — the tracer only *observes*
+        #: the clocks, it never charges them, so accounting is identical
+        #: with and without it.
+        self.tracer = None
 
     def install_faults(self, plan) -> "VirtualMachine":
         """Attach a :class:`~repro.machine.faults.FaultPlan` (or injector).
@@ -98,12 +105,22 @@ class VirtualMachine:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Scope costs and statistics under phase ``name``."""
+        """Scope costs and statistics under phase ``name``.
+
+        With a tracer attached the per-rank clock values at entry and
+        exit are reported as one span per participating rank; the clocks
+        themselves are never touched.
+        """
+        tracer = self.tracer
+        start = self.clocks.copy() if tracer is not None else None
         self._phase_stack.append(name)
         try:
             yield
         finally:
+            depth = len(self._phase_stack)
             self._phase_stack.pop()
+            if tracer is not None:
+                tracer.record_phase(name, start, self.clocks, depth=depth)
 
     # ------------------------------------------------------------------
     # time accounting

@@ -25,6 +25,7 @@ from repro.core.policies import (
 from repro.core.redistribution import Redistributor
 from repro.machine.faults import FaultInjector, FaultPlan
 from repro.machine.model import MachineModel
+from repro.machine.trace import PhaseTrace
 from repro.machine.virtual import VirtualMachine
 from repro.mesh.decomposition import CurveBlockDecomposition, MeshDecomposition, balanced_splits
 from repro.mesh.grid import Grid2D
@@ -193,6 +194,8 @@ class SimulationResult:
     n_recoveries: int = 0  #: rank failures recovered from
     recovery_time: float = 0.0  #: virtual seconds spent detecting + recovering
     final_state: dict | None = None  #: physics summary (Simulation.final_state_summary)
+    trace: PhaseTrace | None = None  #: per-iteration phase profile (always recorded)
+    telemetry: dict | None = None  #: final metric aggregates (None = telemetry off)
 
     @property
     def overhead(self) -> float:
@@ -223,8 +226,12 @@ class SimulationResult:
         The ``config`` block is the complete :class:`SimulationConfig`
         (via :func:`config_to_dict`), so a saved run's config feeds back
         through ``repro run --config`` to an identical run.
+
+        With telemetry enabled a ``telemetry`` block of final metric
+        aggregates is appended; with telemetry off the output is
+        byte-identical to a pre-telemetry run (the zero-cost contract).
         """
-        return {
+        out = {
             "config": config_to_dict(self.config),
             "totals": {
                 "iterations": len(self.records),
@@ -245,6 +252,9 @@ class SimulationResult:
                 "redistributed": [r.redistributed for r in self.records],
             },
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     def save_json(self, path) -> None:
         """Write :meth:`to_dict` to ``path`` as JSON."""
@@ -345,6 +355,48 @@ class Simulation:
         self.n_recoveries = 0
         self.recovery_time = 0.0
         self._last_checkpoint: Path | None = None
+        #: per-iteration phase profile, snapshotted by :meth:`run` after
+        #: every iteration and exposed on :class:`SimulationResult`
+        self.trace = PhaseTrace(self.vm)
+        #: telemetry bundle (None until :meth:`enable_telemetry`); when
+        #: off, every hot-path hook is a dormant ``is None`` branch
+        self.telemetry = None
+
+    # ------------------------------------------------------------------
+    def enable_telemetry(self):
+        """Attach a :class:`~repro.telemetry.RunTelemetry` to this run.
+
+        Wires the span tracer into the machine's phase contexts, the
+        decision sink into the redistribution policy, and the violation
+        sink into the invariant guard.  Idempotent; returns the bundle
+        so callers can save its trace / metrics exports after
+        :meth:`run`.  Telemetry only observes the virtual clocks —
+        ``vm.elapsed()``, ``vm.ops``, and every result quantity stay
+        bit-identical to an untelemetered run.
+        """
+        if self.telemetry is None:
+            from repro.telemetry import RunTelemetry
+
+            self.telemetry = RunTelemetry(
+                self.config.p, config=config_to_dict(self.config)
+            )
+            self._wire_telemetry()
+        return self.telemetry
+
+    def _wire_telemetry(self) -> None:
+        """(Re-)attach telemetry sinks to the current vm / policy / guard.
+
+        Called at enable time and again after rank-failure recovery,
+        which swaps the machine and rebuilds the policy from checkpoint
+        state (dropping its transient sink).
+        """
+        tel = self.telemetry
+        if tel is None:
+            return
+        self.vm.tracer = tel.tracer
+        self.policy.decision_sink = tel.record_sar_decision
+        if self.guard is not None:
+            self.guard.on_violation = tel.record_guard_violation
 
     # ------------------------------------------------------------------
     def install_faults(self, plan: FaultPlan | None) -> "Simulation":
@@ -434,6 +486,10 @@ class Simulation:
             injector = vm.fault_injector
             if injector is not None:
                 injector.set_iteration(it)
+            tel = self.telemetry
+            if tel is not None:
+                tel.set_iteration(it)
+                tel.begin_iteration(vm, self.pic)
             try:
                 t0 = vm.elapsed()
                 self.pic.step()
@@ -445,6 +501,7 @@ class Simulation:
                 self.policy.record_iteration(it, t_iter)
                 redistributed = False
                 cost = 0.0
+                redis_epoch = None
                 if (
                     self.redistributor is not None
                     and self.config.movement == "lagrangian"
@@ -459,7 +516,8 @@ class Simulation:
                     self.n_redistributions += 1
                     redistributed = True
                     self.policy.record_redistribution(it, cost)
-                    vm.stats.snapshot_epoch()  # keep redistribution comm out of scatter series
+                    # keep redistribution comm out of the scatter series
+                    redis_epoch = vm.stats.snapshot_epoch()
                 elif self.rebalancer is not None and self.policy.should_redistribute(it):
                     cost = self.rebalancer.rebalance(self.pic)
                     self.decomp = self.pic.decomp  # rebalance moved the bounds
@@ -469,10 +527,21 @@ class Simulation:
                     self.n_redistributions += 1
                     redistributed = True
                     self.policy.record_redistribution(it, cost)
-                    vm.stats.snapshot_epoch()
+                    redis_epoch = vm.stats.snapshot_epoch()
                 self.records.append(
                     IterationRecord(it, t_iter, max_bytes, max_msgs, redistributed, cost)
                 )
+                phase_row = self.trace.snapshot()
+                if tel is not None:
+                    tel.end_iteration(
+                        vm,
+                        self.pic,
+                        iteration=it,
+                        phase_time=phase_row,
+                        comm_epochs=[epoch] + ([redis_epoch] if redis_epoch else []),
+                        redistributed=redistributed,
+                        redistribution_cost=cost,
+                    )
                 self.iteration = it + 1
                 if checkpoint_every is not None and self.iteration % checkpoint_every == 0:
                     self.checkpoint(checkpoint_path)
@@ -532,9 +601,22 @@ class Simulation:
         injector = vm.fault_injector
         if injector is not None:
             injector.set_iteration(self.iteration)
+        tel = self.telemetry
+        if tel is not None:
+            # attach the tracer before recovery charges land so the
+            # "recovery" phase shows up as spans on the shrunk machine
+            vm.tracer = tel.tracer
+            tel.set_iteration(self.iteration)
+            tel.record_event(
+                "rank_failure", t=t_fail, iteration=self.iteration, rank=dead
+            )
         self.config = cfg
         self.vm = vm
         self.fault_plan = survivor_plan
+        # the shrunk machine carries the old phase maxima forward, so the
+        # phase trace stays continuous across the swap (no stale machine,
+        # no double counting)
+        self.trace.rebind(vm)
         self.decomp = self._build_decomposition()
 
         # -- recover the physical + control state --------------------------
@@ -546,6 +628,7 @@ class Simulation:
                 data = None
         if data is not None and data.run_state is not None:
             rs = data.run_state
+            recovery_source = "checkpoint"
             all_parts = data.all_particles()
             fields = data.fields
             restart_iteration = data.iteration
@@ -567,6 +650,7 @@ class Simulation:
             # partition) is still addressable; survivors agree on the
             # salvage in one small coordination round and restart the
             # interrupted iteration.
+            recovery_source = "salvage"
             all_parts = ParticleArray.concat(self.pic.particles)
             fields = self.pic.fields
             restart_iteration = self.iteration
@@ -626,6 +710,19 @@ class Simulation:
         vm.stats.snapshot_epoch()  # keep recovery comm out of the scatter series
         self.n_recoveries += 1
         self.recovery_time += (vm.elapsed() - t_fail) + plan.detect_timeout
+        if tel is not None:
+            # the policy (and possibly the guard wiring target) were
+            # rebuilt above — re-attach every telemetry sink
+            tel.on_shrink(p_new, dead, restart_iteration, t=vm.elapsed())
+            tel.record_event(
+                "recovery",
+                t=vm.elapsed(),
+                iteration=restart_iteration,
+                source=recovery_source,
+                dead_rank=dead,
+                p=p_new,
+            )
+            self._wire_telemetry()
 
     def result(self) -> SimulationResult:
         """The :class:`SimulationResult` of the history run so far."""
@@ -641,6 +738,8 @@ class Simulation:
             n_recoveries=self.n_recoveries,
             recovery_time=self.recovery_time,
             final_state=self.final_state_summary(),
+            trace=self.trace,
+            telemetry=self.telemetry.aggregates() if self.telemetry is not None else None,
         )
 
     def final_state_summary(self) -> dict:
@@ -700,6 +799,9 @@ class Simulation:
             # the *live* decomposition: adaptive rebalancing swaps it at
             # runtime (pic.decomp), which Simulation.decomp tracks
             "decomp_bounds": self.pic.decomp.curve_bounds.tolist(),
+            # per-iteration phase-profile rows: telemetry survives resume
+            # (a resumed run's PhaseTrace covers the full history)
+            "trace_rows": self.trace.rows,
         }
         sort_keys = (
             self.redistributor.export_keys() if self.redistributor is not None else None
@@ -714,6 +816,13 @@ class Simulation:
             sort_keys=sort_keys,
         )
         self._last_checkpoint = written  # rank-failure recovery restores from here
+        if self.telemetry is not None:
+            self.telemetry.record_event(
+                "checkpoint",
+                t=self.vm.elapsed(),
+                iteration=self.iteration,
+                path=str(written),
+            )
         return written
 
     @classmethod
@@ -771,6 +880,13 @@ class Simulation:
         self.pic.fields = data.fields
         self.pic.iteration = data.iteration
         self.vm.load_state(rs["vm"])
+        # Rebuild the phase trace on the restored machine: the fresh
+        # baseline is the restored breakdown (pre-checkpoint time belongs
+        # to the rows we restore, not to the next snapshot), and the
+        # restored rows make a resumed run's trace cover the full history.
+        # Checkpoints written before telemetry carry no rows.
+        self.trace = PhaseTrace(self.vm)
+        self.trace.rows = [dict(row) for row in rs.get("trace_rows", [])]
         self.policy = policy_from_state(rs["policy"])
         if self.redistributor is not None:
             if data.sort_keys is None:

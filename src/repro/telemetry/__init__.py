@@ -1,0 +1,48 @@
+"""Unified run telemetry: span tracer, metrics registry, exports, report.
+
+The observability layer of the reproduction (DESIGN.md §5.4).  One
+:class:`RunTelemetry` per run bundles
+
+* a :class:`SpanTracer` of (iteration, phase, rank) intervals on the
+  virtual clocks, exported as Perfetto-loadable Chrome-trace JSON;
+* a :class:`MetricsRegistry` of counters / gauges / histograms fed by
+  the simulation driver, the redistribution policies, and the guard /
+  fault layer;
+* a per-iteration metrics JSONL stream (schema ``repro-metrics/1``)
+  covering phase times, per-rank load, comm traffic, ghost-table hit
+  stats, and every SAR redistribution decision.
+
+Telemetry is strictly opt-in and zero-cost when off: a run without it
+carries only dormant ``is None`` branches and produces bit-identical
+``vm.elapsed()`` / ``vm.ops`` / summary JSON.
+"""
+
+from repro.telemetry.collector import METRICS_SCHEMA, RunTelemetry
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.report import render_comparison, render_report, report_from_files
+from repro.telemetry.schema import (
+    ParsedMetrics,
+    TelemetrySchemaError,
+    validate_metrics,
+    validate_trace,
+)
+from repro.telemetry.spans import TRACE_SCHEMA, Span, SpanTracer
+
+__all__ = [
+    "RunTelemetry",
+    "SpanTracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ParsedMetrics",
+    "TelemetrySchemaError",
+    "validate_trace",
+    "validate_metrics",
+    "render_report",
+    "render_comparison",
+    "report_from_files",
+    "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+]

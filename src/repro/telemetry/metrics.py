@@ -1,0 +1,144 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is the aggregate half of the telemetry layer
+(the :mod:`~repro.telemetry.spans` tracer is the timeline half): the
+simulation driver, the redistribution policies, and the guard / fault
+machinery feed monotonic totals (bytes, messages, redistribution counts,
+recoveries, SAR verdicts), last-value gauges (current imbalance), and
+distribution summaries (per-iteration time, redistribution durations)
+into it.  :meth:`MetricsRegistry.snapshot` renders everything as one
+JSON-serializable dict — the ``telemetry`` block of
+``SimulationResult.to_dict()`` and the closing ``summary`` record of a
+metrics JSONL stream.
+
+Instruments are plain Python accumulators: no clocks are read and no
+virtual cost is charged, so feeding the registry never perturbs a run.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins scalar."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float | None:
+        return self.value
+
+
+class Histogram:
+    """A streaming distribution summary (count / sum / min / max / mean).
+
+    Keeps O(1) state rather than raw samples: enough for the report's
+    aggregate rows without unbounded growth on long runs.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments, one namespace per run.
+
+    ``registry.counter("comm.bytes_total").inc(4096)`` — instruments are
+    created on first use and an instrument name is pinned to one kind
+    (asking for an existing counter as a gauge raises).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} is a {inst.kind}, not a {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        """All instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """All instruments rendered as ``{name: {kind, value}}``, sorted."""
+        return {
+            name: {"kind": inst.kind, "value": inst.snapshot()}
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

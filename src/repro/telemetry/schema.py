@@ -1,0 +1,188 @@
+"""Schema validation for exported telemetry files.
+
+Two artifact kinds leave a run:
+
+* **trace** — Chrome Trace Event JSON (``repro run --trace``), loadable
+  by Perfetto; validated by :func:`validate_trace`;
+* **metrics** — JSONL, one record per line (``repro run --metrics``),
+  schema ``repro-metrics/1``; validated by :func:`validate_metrics`.
+
+Both validators raise :class:`TelemetrySchemaError` naming the first
+offending record, and return the parsed content so callers (the report
+CLI, the CI ``telemetry`` job, the tests) never parse twice.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.collector import METRICS_SCHEMA
+from repro.telemetry.spans import TRACE_SCHEMA
+
+__all__ = [
+    "TelemetrySchemaError",
+    "validate_trace",
+    "validate_metrics",
+    "ParsedMetrics",
+]
+
+#: Chrome-trace phase codes the exporter emits.
+_TRACE_PHASES = {"X", "i", "C", "M"}
+
+
+class TelemetrySchemaError(ValueError):
+    """A telemetry artifact does not conform to its schema."""
+
+
+def _fail(message: str) -> None:
+    raise TelemetrySchemaError(message)
+
+
+def validate_trace(source: str | Path | dict) -> dict:
+    """Validate a Chrome-trace export; return the parsed document.
+
+    ``source`` is a file path or an already-parsed dict.  Checks the
+    envelope (``traceEvents`` list, schema marker) and every event's
+    required fields per its phase code — the structural subset Perfetto
+    requires to load the file.
+    """
+    if isinstance(source, dict):
+        doc = source
+    else:
+        path = Path(source)
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            _fail(f"{path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        _fail("trace must be an object with a 'traceEvents' list")
+    other = doc.get("otherData", {})
+    if other.get("schema") != TRACE_SCHEMA:
+        _fail(
+            f"trace otherData.schema is {other.get('schema')!r}, expected {TRACE_SCHEMA!r}"
+        )
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            _fail(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in _TRACE_PHASES:
+            _fail(f"traceEvents[{i}] has unknown phase code {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                _fail(f"traceEvents[{i}] ({ph}) is missing {key!r}")
+        if ph in ("X", "i", "C") and not isinstance(ev.get("ts"), (int, float)):
+            _fail(f"traceEvents[{i}] ({ph}) needs a numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                _fail(f"traceEvents[{i}] (X) needs a non-negative numeric 'dur'")
+            args = ev.get("args", {})
+            if "iteration" not in args:
+                _fail(f"traceEvents[{i}] (X) args must carry the iteration tag")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            _fail(f"traceEvents[{i}] (C) needs an 'args' object of series values")
+    return doc
+
+
+class ParsedMetrics:
+    """Structured view of a validated metrics JSONL stream."""
+
+    def __init__(self, header: dict, iterations: list[dict], events: list[dict], summary: dict | None) -> None:
+        self.header = header
+        self.iterations = iterations
+        self.events = events
+        self.summary = summary
+
+    @property
+    def p(self) -> int:
+        """Rank count at the start of the run."""
+        return int(self.header["p"])
+
+
+_ITERATION_KEYS = (
+    "iteration",
+    "p",
+    "t_iter",
+    "phase_time",
+    "particles_per_rank",
+    "imbalance",
+    "comm",
+    "sar_decisions",
+    "redistributed",
+    "redistribution_cost",
+)
+
+
+def validate_metrics(source: str | Path | list[str]) -> ParsedMetrics:
+    """Validate a metrics JSONL stream; return a :class:`ParsedMetrics`.
+
+    ``source`` is a file path or a list of JSONL lines.  Checks the
+    header schema marker, every iteration record's required keys, the
+    per-rank array length against the live rank count (which ``shrink``
+    events may lower mid-stream — stale rank columns are an error), and
+    the presence of a closing summary record.
+    """
+    if isinstance(source, list):
+        lines = source
+        where = "<lines>"
+    else:
+        path = Path(source)
+        lines = path.read_text().splitlines()
+        where = str(path)
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            _fail(f"{where}:{lineno} is not valid JSON: {exc}")
+    if not records:
+        _fail(f"{where} is empty")
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != METRICS_SCHEMA:
+        _fail(
+            f"{where}: first record must be a header with schema "
+            f"{METRICS_SCHEMA!r}, got {header.get('schema')!r}"
+        )
+    if not isinstance(header.get("p"), int) or header["p"] < 1:
+        _fail(f"{where}: header 'p' must be a positive integer")
+    live_p = header["p"]
+    iterations: list[dict] = []
+    events: list[dict] = []
+    summary: dict | None = None
+    for i, rec in enumerate(records[1:], start=2):
+        kind = rec.get("type")
+        if kind == "iteration":
+            for key in _ITERATION_KEYS:
+                if key not in rec:
+                    _fail(f"{where}: iteration record {i} is missing {key!r}")
+            if rec["p"] != live_p:
+                _fail(
+                    f"{where}: iteration {rec['iteration']} reports p={rec['p']} "
+                    f"but the live rank count is {live_p}"
+                )
+            counts = rec["particles_per_rank"]
+            if not isinstance(counts, list) or len(counts) != live_p:
+                _fail(
+                    f"{where}: iteration {rec['iteration']} has "
+                    f"{len(counts) if isinstance(counts, list) else '??'} rank "
+                    f"columns, expected {live_p} (stale ranks?)"
+                )
+            if not isinstance(rec["sar_decisions"], list):
+                _fail(f"{where}: iteration {rec['iteration']} sar_decisions must be a list")
+            iterations.append(rec)
+        elif kind == "event":
+            if rec.get("kind") == "shrink":
+                live_p = int(rec["p"])
+            events.append(rec)
+        elif kind == "summary":
+            summary = rec
+            if "aggregates" not in rec:
+                _fail(f"{where}: summary record is missing 'aggregates'")
+        else:
+            _fail(f"{where}: record {i} has unknown type {kind!r}")
+    if summary is None:
+        _fail(f"{where}: no closing summary record")
+    return ParsedMetrics(header, iterations, events, summary)

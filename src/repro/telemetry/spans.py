@@ -1,0 +1,222 @@
+"""Span-based tracing of virtual-machine phases (Chrome-trace export).
+
+:class:`SpanTracer` records one :class:`Span` per (iteration, phase,
+rank) interval on the *virtual* clocks: the machine's
+:meth:`~repro.machine.virtual.VirtualMachine.phase` context manager
+captures the per-rank clock values at entry and exit and hands them to
+:meth:`SpanTracer.record_phase`.  Because spans are measured on the
+virtual clocks, a trace is fully deterministic — two runs of the same
+configuration produce byte-identical trace files.
+
+The export format is the Chrome Trace Event JSON (the ``traceEvents``
+array form), which Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing`` both load directly:
+
+* each rank maps to one thread lane (``tid = rank``) in process 0;
+* phase intervals are complete events (``"ph": "X"``) with microsecond
+  timestamps (virtual seconds × 1e6) and ``args`` carrying the
+  iteration number;
+* one-off occurrences (checkpoints, rank failures, recoveries) are
+  instant events (``"ph": "i"``);
+* per-iteration scalars (load imbalance, particle counts) are counter
+  events (``"ph": "C"``) charted on their own tracks;
+* metadata events (``"ph": "M"``) name the process and the rank lanes.
+
+Nothing here charges the virtual clocks: attaching a tracer never
+changes ``vm.elapsed()``, ``vm.ops``, or any result quantity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Span", "SpanTracer", "TRACE_SCHEMA"]
+
+#: Schema marker embedded in exported traces (``otherData.schema``).
+TRACE_SCHEMA = "repro-trace/1"
+
+
+@dataclass
+class Span:
+    """One (iteration, phase, rank) interval on the virtual clocks."""
+
+    name: str  #: phase label (scatter / field / gather / push / ...)
+    rank: int
+    iteration: int
+    t0: float  #: virtual seconds at phase entry (this rank's clock)
+    t1: float  #: virtual seconds at phase exit
+    depth: int = 1  #: phase-stack depth (1 = outermost)
+
+    @property
+    def duration(self) -> float:
+        """Span length in virtual seconds."""
+        return self.t1 - self.t0
+
+
+@dataclass
+class InstantEvent:
+    """A zero-duration marker (checkpoint written, rank failed, ...)."""
+
+    name: str
+    t: float  #: virtual seconds
+    iteration: int
+    args: dict = field(default_factory=dict)
+
+
+@dataclass
+class CounterSample:
+    """One sample of a counter track (imbalance, particle counts, ...)."""
+
+    name: str
+    t: float  #: virtual seconds
+    values: dict  #: series name -> float
+
+
+class SpanTracer:
+    """Collects spans / instants / counter samples from a run.
+
+    The tracer is attached to a machine as ``vm.tracer``; the machine's
+    ``phase`` context manager feeds it via :meth:`record_phase`.  The
+    simulation driver advances :attr:`iteration` once per step so every
+    span is tagged with the iteration it belongs to.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self.counters: list[CounterSample] = []
+        self.iteration = -1  #: -1 = before the first simulation iteration
+        #: rank-count history: list of (iteration, p) entries; recovery
+        #: shrink appends so lane metadata can mark dead ranks.
+        self.rank_history: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def set_iteration(self, iteration: int) -> None:
+        """Tag subsequently recorded spans with ``iteration``."""
+        self.iteration = int(iteration)
+
+    def record_phase(
+        self, name: str, t_start: np.ndarray, t_end: np.ndarray, *, depth: int = 1
+    ) -> None:
+        """Record one phase interval from per-rank entry/exit clocks.
+
+        Ranks whose clock did not advance inside the phase are skipped —
+        they did not participate, and zero-width slices only clutter the
+        timeline.
+        """
+        it = self.iteration
+        for rank in range(len(t_start)):
+            t0 = float(t_start[rank])
+            t1 = float(t_end[rank])
+            if t1 > t0:
+                self.spans.append(Span(name, rank, it, t0, t1, depth))
+
+    def record_instant(self, name: str, t: float, **args) -> None:
+        """Record a zero-duration marker at virtual time ``t``."""
+        self.instants.append(InstantEvent(name, float(t), self.iteration, dict(args)))
+
+    def record_counters(self, name: str, t: float, values: dict) -> None:
+        """Record one sample of counter track ``name`` at virtual time ``t``."""
+        self.counters.append(
+            CounterSample(name, float(t), {k: float(v) for k, v in values.items()})
+        )
+
+    def note_ranks(self, p: int) -> None:
+        """Record that the machine has ``p`` live ranks from now on."""
+        self.rank_history.append((self.iteration, int(p)))
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def max_rank(self) -> int:
+        """Highest rank id that ever appears in the trace."""
+        ranks = [s.rank for s in self.spans]
+        ranks.extend(p - 1 for _, p in self.rank_history)
+        return max(ranks, default=0)
+
+    def to_chrome(self) -> dict:
+        """Export as a Chrome Trace Event / Perfetto JSON object."""
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "repro virtual machine"},
+            }
+        ]
+        for rank in range(self.max_rank() + 1):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
+        for span in self.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "phase",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": span.rank,
+                    "ts": span.t0 * 1e6,
+                    "dur": span.duration * 1e6,
+                    "args": {"iteration": span.iteration, "depth": span.depth},
+                }
+            )
+        for inst in self.instants:
+            events.append(
+                {
+                    "name": inst.name,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "g",  # global scope: full-height marker line
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": inst.t * 1e6,
+                    "args": {"iteration": inst.iteration, **inst.args},
+                }
+            )
+        for sample in self.counters:
+            events.append(
+                {
+                    "name": sample.name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": sample.t * 1e6,
+                    "args": sample.values,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA,
+                "clock": "virtual",
+                "rank_history": [list(entry) for entry in self.rank_history],
+            },
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the Chrome-trace JSON to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome()) + "\n")
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracer(spans={len(self.spans)}, instants={len(self.instants)}, "
+            f"counters={len(self.counters)})"
+        )

@@ -62,6 +62,9 @@ class InvariantGuard:
         self.expected_charge: float | None = None
         #: violations reported so far (message strings, in order)
         self.violations: list[str] = []
+        #: optional telemetry sink called with each violation message
+        #: (before the warning / raise); ``None`` = no telemetry attached
+        self.on_violation = None
 
     # ------------------------------------------------------------------
     def capture(self, particles) -> None:
@@ -72,6 +75,8 @@ class InvariantGuard:
     # ------------------------------------------------------------------
     def _fail(self, message: str) -> None:
         self.violations.append(message)
+        if self.on_violation is not None:
+            self.on_violation(message)
         if self.mode == "strict":
             raise SimulationIntegrityError(message)
         warnings.warn(f"invariant violation: {message}", UserWarning, stacklevel=3)
