@@ -44,6 +44,11 @@ _NPART = 8192
 _SEED = 3
 
 
+#: Problem size of the multicore flat-backend cases: enough particles
+#: per rank that kernel math dominates worker dispatch overhead.
+_NPART_MC = 262_144
+
+
 def _engine() -> str:
     """Execution engine the PIC cases run under.
 
@@ -53,6 +58,19 @@ def _engine() -> str:
     advantage at identical virtual time and op counts.
     """
     return os.environ.get("REPRO_BENCH_ENGINE", "flat")
+
+
+def _workers() -> int:
+    """Worker count of the multicore cases (``REPRO_BENCH_WORKERS``).
+
+    The committed baseline is recorded at the default (0 = in-process
+    flat), so a run with ``REPRO_BENCH_WORKERS=4`` compared against it
+    measures the multicore backend's wall speedup at a vm_ratio of
+    exactly 1.0 — the backend is accounting-invariant by contract.
+    """
+    from repro.parallel_exec import resolve_workers
+
+    return resolve_workers(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 
 def _observe(vm: VirtualMachine, body) -> BenchObservation:
@@ -127,6 +145,47 @@ def _step_static(pic: ParallelPIC) -> BenchObservation:
     setup=lambda: _build_pic("eulerian"),
 )
 def _step_eulerian(pic: ParallelPIC) -> BenchObservation:
+    return _observe(pic.vm, pic.step)
+
+
+def _build_pic_mc() -> ParallelPIC:
+    """Large flat-engine fixture for the multicore-backend cases.
+
+    Always ``engine="flat"`` (the backend only exists there); the worker
+    count comes from ``REPRO_BENCH_WORKERS`` so the same case measures
+    the serial flat baseline and the sharded backend.
+    """
+    grid = Grid2D(_NX, _NY)
+    particles = gaussian_blob(grid, _NPART_MC, rng=_SEED)
+    vm = VirtualMachine(_P, MachineModel.cm5())
+    decomp = CurveBlockDecomposition(grid, _P, "hilbert")
+    local = ParticlePartitioner(grid, "hilbert").initial_partition(particles, _P)
+    return ParallelPIC(
+        vm, grid, decomp, local, movement="lagrangian", engine="flat", workers=_workers()
+    )
+
+
+@register(
+    "scatter_workers4_p32",
+    suites=("smoke", "full"),
+    tier=1,
+    description="parallel scatter at 262k particles, flat engine, "
+    "REPRO_BENCH_WORKERS processes (0 = in-process)",
+    setup=_build_pic_mc,
+)
+def _scatter_workers(pic: ParallelPIC) -> BenchObservation:
+    return _observe(pic.vm, pic.scatter)
+
+
+@register(
+    "flat_workers4_step_p32",
+    suites=("smoke", "full"),
+    tier=1,
+    description="one full PIC step at 262k particles, flat engine, "
+    "REPRO_BENCH_WORKERS processes (0 = in-process)",
+    setup=_build_pic_mc,
+)
+def _step_workers(pic: ParallelPIC) -> BenchObservation:
     return _observe(pic.vm, pic.step)
 
 

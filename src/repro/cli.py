@@ -76,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--guards", default="off", choices=["off", "warn", "strict"],
                      help="invariant guards: warn reports conservation/finiteness "
                           "violations, strict raises SimulationIntegrityError")
+    run.add_argument("--workers", default="0", metavar="N|auto",
+                     help="worker processes for the multicore flat backend "
+                          "(engine=flat, kernel=era only); 'auto' uses the "
+                          "available cores; results are bit-identical for "
+                          "every worker count")
     run.add_argument("--fault-plan", metavar="FILE.json",
                      help="inject machine faults from a FaultPlan JSON file "
                           "(see examples/faults.json); rank kills recover automatically")
@@ -103,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--guards", default=None, choices=["off", "warn", "strict"],
                         help="override the checkpointed guard severity; strict also "
                              "refuses legacy format-v1 checkpoints")
+    resume.add_argument("--workers", default="0", metavar="N|auto",
+                        help="worker processes for the multicore flat backend; "
+                             "checkpoints never record a worker count, so any "
+                             "value resumes bit-identically")
     resume.add_argument("--fault-plan", metavar="FILE.json",
                         help="inject machine faults from a FaultPlan JSON file")
     resume.add_argument("--json", action="store_true",
@@ -322,16 +331,28 @@ def _save_telemetry(sim: Simulation, args: argparse.Namespace) -> None:
         print(f"[metrics written to {path}]", file=sys.stderr)
 
 
+def _workers_arg(args: argparse.Namespace) -> str | int:
+    """Validate ``--workers`` early so errors surface as usage errors."""
+    from repro.parallel_exec import resolve_workers
+
+    try:
+        resolve_workers(args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"--workers: {exc}")
+    return args.workers
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     plan = _load_fault_plan(args.fault_plan)
     every, ck_path = _checkpoint_args(args)
-    sim = Simulation(config)
+    sim = Simulation(config, workers=_workers_arg(args))
     if plan is not None:
         sim.install_faults(plan)
     _maybe_enable_telemetry(sim, args)
     result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
     _save_telemetry(sim, args)
+    sim.close()
     return _emit_result(
         args, result, f"{args.iterations} iterations, p={config.p}"
     )
@@ -345,7 +366,9 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     plan = _load_fault_plan(args.fault_plan)
     every, ck_path = _checkpoint_args(args, default_path=args.path)
     try:
-        sim = Simulation.from_checkpoint(args.path, guards=args.guards)
+        sim = Simulation.from_checkpoint(
+            args.path, guards=args.guards, workers=_workers_arg(args)
+        )
     except FileNotFoundError as exc:
         raise SystemExit(str(exc))
     except CheckpointError as exc:
@@ -355,6 +378,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     _maybe_enable_telemetry(sim, args)
     result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
     _save_telemetry(sim, args)
+    sim.close()
     return _emit_result(
         args,
         result,

@@ -121,6 +121,8 @@ def bucket_incremental_sort(
     vm: VirtualMachine,
     states: list[BucketState],
     new_keys: list[np.ndarray],
+    *,
+    classifier=None,
 ) -> tuple[list[np.ndarray], list[np.ndarray], IncrementalSortStats]:
     """One epoch of incremental redistribution (paper Figure 12).
 
@@ -134,6 +136,13 @@ def bucket_incremental_sort(
     new_keys:
         Per-rank freshly computed keys, aligned with each state's rows
         (same length and order as ``state.keys``).
+    classifier:
+        Optional ``(keys, rank_of, lows, highs, splitters) ->
+        (dest, same)`` hook replacing the in-process classification pass
+        (the multicore backend's chunked workers).  Classification is
+        pure per-element integer work, so any implementation chunking is
+        bit-identical to the serial pass — results and charges do not
+        depend on it.
 
     Returns
     -------
@@ -170,11 +179,15 @@ def bucket_incremental_sort(
     offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
     keys_all = np.concatenate(per_rank_keys)
     rank_of = np.repeat(np.arange(p, dtype=np.int64), counts)
-    dest_all = np.searchsorted(splitters, keys_all, side="left").astype(np.int64)
-    off_all = dest_all != rank_of
     lows_all = np.concatenate([state.elem_lows for state in states])
     highs_all = np.concatenate([state.elem_highs for state in states])
-    same_all = ~off_all & (keys_all >= lows_all) & (keys_all <= highs_all)
+    if classifier is not None:
+        dest_all, same_all = classifier(keys_all, rank_of, lows_all, highs_all, splitters)
+        off_all = dest_all != rank_of
+    else:
+        dest_all = np.searchsorted(splitters, keys_all, side="left").astype(np.int64)
+        off_all = dest_all != rank_of
+        same_all = ~off_all & (keys_all >= lows_all) & (keys_all <= highs_all)
     n_off_arr = np.bincount(rank_of[off_all], minlength=p).astype(np.int64)
     n_same_arr = np.bincount(rank_of[same_all], minlength=p).astype(np.int64)
     n_moved_arr = counts - n_off_arr - n_same_arr

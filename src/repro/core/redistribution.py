@@ -46,12 +46,23 @@ class Redistributor:
         Supplies particle keys (cell curve positions).
     nbuckets:
         ``L`` buckets per rank for the incremental sort (paper Fig 12).
+    classifier:
+        Optional classification hook forwarded to
+        :func:`bucket_incremental_sort` (the multicore backend's chunked
+        workers); bit-identical results either way.
     """
 
-    def __init__(self, partitioner: ParticlePartitioner, *, nbuckets: int = 16) -> None:
+    def __init__(
+        self,
+        partitioner: ParticlePartitioner,
+        *,
+        nbuckets: int = 16,
+        classifier=None,
+    ) -> None:
         require(nbuckets >= 1, "nbuckets must be >= 1")
         self.partitioner = partitioner
         self.nbuckets = nbuckets
+        self.classifier = classifier
         self._states: list[BucketState] | None = None
 
     # ------------------------------------------------------------------
@@ -103,7 +114,9 @@ class Redistributor:
                 new_keys.append(self.partitioner.particle_keys(parts))
                 counts[r] = parts.n
             self.partitioner.charge_indexing(vm, counts)
-            keys_out, payloads_out, stats = bucket_incremental_sort(vm, states, new_keys)
+            keys_out, payloads_out, stats = bucket_incremental_sort(
+                vm, states, new_keys, classifier=self.classifier
+            )
             keys_bal, payloads_bal = order_maintaining_balance(vm, keys_out, payloads_out)
             particles = [ParticleArray.from_matrix(mat) for mat in payloads_bal]
             self._states = [

@@ -1,0 +1,263 @@
+"""Shared-memory arena: named numpy segments visible to forked workers.
+
+The multicore flat backend keeps every *large* array — the pooled
+particle columns, the node-ownership map, per-phase scratch buffers —
+in ``multiprocessing.shared_memory`` blocks so the persistent worker
+processes operate on the same physical pages as the main process.  Only
+tiny :class:`ShmArray` descriptors (block name, dtype, shape, byte
+offset) ever cross the task pipes; particle data is never pickled.
+
+Lifecycle rules (the fork-safety contract of DESIGN.md §5.5):
+
+* The **main process** owns every block: :class:`SharedArena` creates,
+  tracks, and unlinks them.  Blocks are *versioned by name* — replacing
+  a logical buffer (e.g. the particle pool after a migration) allocates
+  a fresh block with a new serial and unlinks the old one.  On Linux an
+  unlinked block stays mapped in any worker that still holds it, so
+  eager unlinking is safe.
+* **Workers** only ever attach by name through :class:`ShmAttachCache`
+  and never unlink.  Python's ``resource_tracker`` would otherwise
+  double-unlink attached blocks at worker exit; the cache unregisters
+  each attachment (or uses ``track=False`` where available, 3.13+).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ShmArray",
+    "SharedArena",
+    "ShmAttachCache",
+    "shared_memory_available",
+    "disable_resource_tracking",
+]
+
+
+def _open_shared_memory(name: str | None, create: bool, size: int = 0):
+    """Open a block: tracked when creating (so an abnormal main-process
+    exit still reclaims it), untracked when attaching (workers must
+    never unlink; ``SharedMemory.unlink`` itself unregisters cleanly)."""
+    from multiprocessing import shared_memory
+
+    if create:
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        return shm
+
+
+def _untrack(shm) -> None:  # pragma: no cover - Python < 3.13 only
+    """Stop the resource tracker from unlinking an *attached* block."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def disable_resource_tracking() -> None:
+    """Neutralize this process's resource-tracker calls (workers only).
+
+    Forked workers share the main process's tracker daemon and its
+    per-resource *set* of names.  On Python < 3.13 every attach
+    registers the name again and the subsequent untrack removes it —
+    including the main process's own registration, so the owner's
+    ``unlink`` later KeyErrors in the tracker.  Workers never create
+    blocks, so inside a worker both calls can simply be no-ops.
+    """
+    from multiprocessing import resource_tracker
+
+    resource_tracker.register = lambda *a, **kw: None
+    resource_tracker.unregister = lambda *a, **kw: None
+
+
+def shared_memory_available() -> bool:
+    """Probe whether ``multiprocessing.shared_memory`` actually works.
+
+    Creates, writes, and unlinks a tiny block; any failure (missing
+    ``/dev/shm``, sandbox denial, unsupported platform) reports False so
+    callers can fall back to the in-process path instead of crashing.
+    """
+    try:
+        shm = _open_shared_memory(None, create=True, size=16)
+        try:
+            shm.buf[0] = 1
+            ok = shm.buf[0] == 1
+        finally:
+            shm.close()
+            shm.unlink()
+        return bool(ok)
+    except Exception:
+        return False
+
+
+@dataclass(frozen=True)
+class ShmArray:
+    """Picklable handle to a numpy array living in a shared block.
+
+    ``name`` is the shared-memory block; the array is ``shape``/``dtype``
+    starting ``offset`` bytes into the block.  This is the *only* form in
+    which the backend ever references bulk data across the task pipes.
+    """
+
+    name: str
+    dtype: str
+    shape: tuple
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+class SharedArena:
+    """Main-process owner of named shared blocks.
+
+    ``alloc`` hands back a writable numpy view plus its :class:`ShmArray`
+    descriptor.  Logical names version automatically: allocating
+    ``"pool"`` again creates ``...pool-<serial+1>`` and unlinks the old
+    block, so stale descriptors held by in-flight tasks can never alias
+    fresh data.
+    """
+
+    def __init__(self, tag: str = "flat") -> None:
+        self._tag = tag
+        self._serial = 0
+        #: logical name -> (SharedMemory, ShmArray of the whole block)
+        self._blocks: dict[str, object] = {}
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------
+    def alloc(self, logical: str, nbytes: int, *, fresh: bool = False):
+        """(Re)allocate the block backing ``logical``; returns the block.
+
+        Reuses the existing block when it is already big enough (scratch
+        buffers are monotonic in practice); otherwise allocates a fresh
+        versioned block and unlinks the predecessor.  ``fresh=True``
+        forces a new block even when the old one is big enough — required
+        when the *source* of the impending copy may be a view of the old
+        block (pool rebuilds), where in-place reuse would corrupt it.
+        """
+        existing = self._blocks.get(logical)
+        if existing is not None and existing.size >= nbytes and not fresh:
+            return existing
+        self._serial += 1
+        name = f"repro-{self._pid}-{self._tag}-{logical}-{self._serial}"
+        shm = _open_shared_memory(name, create=True, size=max(int(nbytes), 1))
+        if existing is not None:
+            existing.close()
+            try:
+                existing.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._blocks[logical] = shm
+        return shm
+
+    def array(self, logical: str, shape: tuple, dtype) -> tuple[np.ndarray, ShmArray]:
+        """Allocate (or reuse) ``logical`` sized for one ``shape`` array."""
+        dtype = np.dtype(dtype)
+        nbytes = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
+        shm = self.alloc(logical, nbytes)
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        desc = ShmArray(name=shm.name, dtype=dtype.str, shape=tuple(int(s) for s in shape))
+        return arr, desc
+
+    def columns(self, logical: str, specs: list[tuple[tuple, object]], *, fresh: bool = False):
+        """Lay several arrays out back-to-back in one block.
+
+        ``specs`` is a list of ``(shape, dtype)``; returns a list of
+        ``(ndarray, ShmArray)`` pairs sharing the block, each descriptor
+        carrying its byte offset.
+        """
+        dtypes = [np.dtype(dt) for _, dt in specs]
+        sizes = [
+            int(dt.itemsize * int(np.prod(shape, dtype=np.int64)))
+            for (shape, _), dt in zip(specs, dtypes)
+        ]
+        shm = self.alloc(logical, sum(sizes), fresh=fresh)
+        out = []
+        offset = 0
+        for (shape, _), dt, size in zip(specs, dtypes, sizes):
+            arr = np.ndarray(shape, dtype=dt, buffer=shm.buf, offset=offset)
+            out.append(
+                (
+                    arr,
+                    ShmArray(
+                        name=shm.name,
+                        dtype=dt.str,
+                        shape=tuple(int(s) for s in shape),
+                        offset=offset,
+                    ),
+                )
+            )
+            offset += size
+        return out
+
+    def publish(self, logical: str, arr: np.ndarray) -> ShmArray:
+        """Copy ``arr`` into the arena and return its descriptor."""
+        view, desc = self.array(logical, arr.shape, arr.dtype)
+        view[...] = arr
+        return desc
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every live block (idempotent)."""
+        for shm in self._blocks.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+        self._blocks.clear()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        self.close()
+
+
+class ShmAttachCache:
+    """Worker-side attach-by-name cache.
+
+    Attaching a block is a syscall + mmap; workers reuse attachments
+    across tasks and evict least-recently-used blocks (unlinked blocks
+    release their pages only once the last attachment closes).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self._capacity = capacity
+        self._blocks: dict[str, object] = {}
+
+    def get(self, desc: ShmArray) -> np.ndarray:
+        """Numpy view of the descriptor's array (attaching if needed)."""
+        shm = self._blocks.get(desc.name)
+        if shm is None:
+            shm = _open_shared_memory(desc.name, create=False)
+            self._blocks[desc.name] = shm
+            while len(self._blocks) > self._capacity:
+                oldest = next(iter(self._blocks))
+                if oldest == desc.name:
+                    break
+                self._blocks.pop(oldest).close()
+        else:
+            # refresh LRU position
+            self._blocks[desc.name] = self._blocks.pop(desc.name)
+        return np.ndarray(
+            desc.shape, dtype=np.dtype(desc.dtype), buffer=shm.buf, offset=desc.offset
+        )
+
+    def close(self) -> None:
+        for shm in self._blocks.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown
+                pass
+        self._blocks.clear()

@@ -56,12 +56,7 @@ from repro.mesh.decomposition import MeshDecomposition
 from repro.mesh.fields import FieldState
 from repro.mesh.halo import HaloSchedule
 from repro.particles.arrays import ParticleArray, ParticlePool
-from repro.pic.deposition import (
-    CHANNELS,
-    deposition_entries,
-    pooled_duplicate_removal,
-    segmented_entry_ranks,
-)
+from repro.pic.deposition import CHANNELS, deposition_entries
 from repro.pic.ghost import make_ghost_table
 from repro.pic.interpolation import gather_from_node_values
 from repro.pic.maxwell import MaxwellSolver
@@ -69,9 +64,11 @@ from repro.pic.poisson import PoissonSolver
 from repro.pic.push import boris_push
 from repro.pic.smoothing import binomial_smooth
 from repro.machine.collectives import (
+    alltoall_concat,
     exchange_by_destination,
     exchange_by_destination_pooled,
 )
+from repro.parallel_exec.kernels import reduce_rank_rows, scatter_segment
 from repro.util import require
 
 __all__ = ["ParallelPIC"]
@@ -113,6 +110,15 @@ class ParallelPIC:
         ``"flat"`` (pooled single-pass kernels, the default) or
         ``"looped"`` (per-rank reference loops).  Both produce identical
         virtual-machine accounting; see the module docstring.
+    workers:
+        Number of OS worker processes for the flat engine's hot kernels
+        (0/1 = in-process).  Ignored with a warning when the platform
+        cannot support the multicore backend; results are bit-identical
+        either way (the three-way parity contract, DESIGN.md §5.5).
+    backend:
+        An existing :class:`~repro.parallel_exec.FlatBackend` to execute
+        on (shared across recoveries by :class:`~repro.pic.simulation.Simulation`);
+        mutually exclusive with ``workers``.  The caller keeps ownership.
     collect_debug:
         When True, retain the most recent halo / gather deliveries in
         ``last_halo`` / ``last_gather_messages`` for tests that verify
@@ -134,6 +140,8 @@ class ParallelPIC:
         smoothing_passes: int = 1,
         field_solver: str = "maxwell",
         engine: str = "flat",
+        workers: int = 0,
+        backend=None,
         collect_debug: bool = False,
     ) -> None:
         require(len(local_particles) == vm.p, "need one particle set per rank")
@@ -145,6 +153,19 @@ class ParallelPIC:
             f"unknown field_solver {field_solver!r}",
         )
         require(engine in ("looped", "flat"), f"unknown engine {engine!r}")
+        require(
+            backend is None or engine == "flat",
+            "worker backends apply only to the flat engine",
+        )
+        self._owns_backend = False
+        if backend is None and workers not in (0, 1, None):
+            require(engine == "flat", "workers apply only to the flat engine")
+            from repro.parallel_exec import create_backend
+
+            backend = create_backend(workers, grid)
+            self._owns_backend = backend is not None
+        #: multicore execution backend (None = in-process kernels)
+        self.backend = backend
         self.smoothing_passes = smoothing_passes
         self.field_solver = field_solver
         self.vm = vm
@@ -200,12 +221,17 @@ class ParallelPIC:
         redistributed particle lists between steps.  The pool is valid
         only while ``self.particles`` are exactly its segment views, so
         any external replacement triggers one concatenation rebuild here
-        (O(n) copy — everything downstream is views again).
+        (O(n) copy — everything downstream is views again).  With a
+        multicore backend the rebuilt pool's columns live in shared
+        memory so worker-side in-place kernels mutate the same pages.
         """
         pool = self._pool
         if pool is not None and pool.owns(self.particles):
             return pool
-        pool = ParticlePool.from_ranks(self.particles)
+        if self.backend is not None:
+            pool = self.backend.pool_from_ranks(self.particles)
+        else:
+            pool = ParticlePool.from_ranks(self.particles)
         self._pool = pool
         self.particles = list(pool.views)
         self._cic_pool_cache = None
@@ -305,6 +331,12 @@ class ParallelPIC:
         carries byte-identical (ids, values) payloads — the pooled
         duplicate removal reproduces each rank's ghost-table output
         bit-for-bit (entries stay in per-rank order inside the pool).
+
+        Deposition reduces at *rank granularity* (per-rank partial rows
+        added in ascending rank order, then per-message merges in the
+        looped engine's order), so the accumulated channels are also
+        bit-identical to the looped engine — and independent of how a
+        multicore backend shards the pool across workers.
         """
         vm = self.vm
         grid = self.grid
@@ -316,82 +348,45 @@ class ParallelPIC:
         acc = np.zeros((nchannels, nnodes))
         sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [dict() for _ in range(p)]
         ghost_nodes: list[dict[int, np.ndarray]] = [dict() for _ in range(p)]
+        backend = self.backend
         with vm.phase("scatter"):
-            vertices = grid.cic_vertices_weights(pool.array.x, pool.array.y)
-            self._cic_pool_cache = (pool, vertices[0], vertices[1])
-            nodes, values = deposition_entries(grid, pool.array, vertices)
-            flat_nodes = nodes.ravel()
-            flat_values = values.reshape(nchannels, -1)
-            entry_rank = segmented_entry_ranks(counts)
-            owners = self.node_owner[flat_nodes]
-            ghost = owners != entry_rank
-            ghost_idx = np.flatnonzero(ghost)
-            if ghost_idx.size:
-                mine_idx = np.flatnonzero(~ghost)
-                nodes_mine = flat_nodes.take(mine_idx)
-                values_mine = flat_values.take(mine_idx, axis=1)
+            if backend is not None:
+                rows, entries_per_rank, uniq_per_rank, messages = backend.scatter(
+                    pool, self.node_owner, nnodes
+                )
+                # each worker holds its segment's CIC evaluation locally
+                self._cic_pool_cache = None
             else:
-                nodes_mine = flat_nodes
-                values_mine = flat_values
-            # On-rank contributions of every rank in one accumulation.
-            for c in range(nchannels):
-                acc[c] += np.bincount(nodes_mine, weights=values_mine[c], minlength=nnodes)
+                rows = np.empty((p, nchannels, nnodes))
+                vertices, entries_per_rank, uniq_per_rank, messages = scatter_segment(
+                    grid, pool.array, counts, 0, self.node_owner, nnodes, rows
+                )
+                self._cic_pool_cache = (pool, vertices[0], vertices[1])
+            reduce_rank_rows(rows, p, acc)
 
             table_ops = np.zeros(p)
-            if ghost_idx.size:
-                # All ranks' duplicate removal in one segmented pass.
-                g_ranks = entry_rank.take(ghost_idx)
-                g_nodes = flat_nodes.take(ghost_idx)
-                g_values = flat_values.take(ghost_idx, axis=1)
-                uniq_nodes, _, summed, seg = pooled_duplicate_removal(
-                    nnodes, p, g_ranks, g_nodes, g_values
+            for r in np.flatnonzero(entries_per_rank):
+                table_ops[r] = self.ghost_tables[r].account_pooled(
+                    int(entries_per_rank[r]), int(uniq_per_rank[r])
                 )
-                entries_per_rank = np.bincount(g_ranks, minlength=p)
-                uniq_per_rank = np.diff(seg)
-                for r in np.flatnonzero(entries_per_rank):
-                    table_ops[r] = self.ghost_tables[r].account_pooled(
-                        int(entries_per_rank[r]), int(uniq_per_rank[r])
-                    )
-                # Coalesce into one message per (source, owner): a stable
-                # sort by owner within each rank segment keeps node ids
-                # ascending inside every message, as the looped engine's
-                # per-owner masking does.
-                uniq_owner = self.node_owner[uniq_nodes]
-                src_of_uniq = np.repeat(np.arange(p, dtype=np.int64), uniq_per_rank)
-                msg_key = src_of_uniq * p + uniq_owner
-                order = np.argsort(msg_key, kind="stable")
-                ids_sorted = uniq_nodes.take(order)
-                vals_sorted = summed.take(order, axis=1)
-                msg_uniq, msg_starts = np.unique(msg_key.take(order), return_index=True)
-                msg_bounds = np.append(msg_starts, msg_key.size)
-                for i, k in enumerate(msg_uniq):
-                    src, owner = divmod(int(k), p)
-                    lo, hi = msg_bounds[i], msg_bounds[i + 1]
-                    ids = np.ascontiguousarray(ids_sorted[lo:hi])
-                    sends[src][owner] = (
-                        ids,
-                        np.ascontiguousarray(vals_sorted[:, lo:hi]),
-                    )
-                    ghost_nodes[src][owner] = ids
+            for r in range(p):
+                for owner, ids, vals in messages[r]:
+                    sends[r][owner] = (ids, vals)
+                    ghost_nodes[r][owner] = ids
             vm.charge_ops("scatter", 4.0 * counts.astype(float))
             vm.charge_ops("table", table_ops)
 
             recv = vm.alltoallv(sends)
-            # Pooled merge: one bincount per channel over every received
-            # message (source-rank order within each destination).
+            # Merge received ghost contributions exactly as the looped
+            # engine does — one bincount per message, destinations in
+            # rank order, sources sorted — so the per-node addition
+            # sequence (hence the floats) matches bit-for-bit.
             merge_ops = np.zeros(p)
-            recv_ids: list[np.ndarray] = []
-            recv_vals: list[np.ndarray] = []
             for r in range(p):
                 for _, (ids, vals) in sorted(recv[r].items()):
-                    recv_ids.append(ids)
-                    recv_vals.append(vals)
+                    for c in range(nchannels):
+                        acc[c] += np.bincount(ids, weights=vals[c], minlength=nnodes)
                     merge_ops[r] += ids.size
-            if recv_ids:
-                ids_cat = np.concatenate(recv_ids)
-                vals_cat = np.concatenate(recv_vals, axis=1)
-                for c in range(nchannels):
-                    acc[c] += np.bincount(ids_cat, weights=vals_cat[c], minlength=nnodes)
             vm.charge_ops("table", merge_ops)
 
         self._ghost_nodes = ghost_nodes
@@ -542,22 +537,29 @@ class ParallelPIC:
         vm = self.vm
         grid = self.grid
         pool = self._ensure_pool()
+        backend = self.backend
         node_values = self._field_node_values()
+        eb = None
         with vm.phase("gather"):
             recv = vm.alltoallv(self._gather_sends(node_values))
             if self.collect_debug:
                 self.last_gather_messages = recv
             vm.charge_ops("gather", 4.0 * pool.counts.astype(float))
-            cached = self._cic_pool_cache
-            self._cic_pool_cache = None  # positions change in the push below
-            if cached is not None and cached[0] is pool:
-                nodes, weights = cached[1], cached[2]
-            else:
-                nodes, weights = grid.cic_vertices_weights(pool.array.x, pool.array.y)
-            eb = gather_from_node_values(node_values, nodes, weights)
+            if backend is None:
+                cached = self._cic_pool_cache
+                self._cic_pool_cache = None  # positions change in the push below
+                if cached is not None and cached[0] is pool:
+                    nodes, weights = cached[1], cached[2]
+                else:
+                    nodes, weights = grid.cic_vertices_weights(pool.array.x, pool.array.y)
+                eb = gather_from_node_values(node_values, nodes, weights)
         with vm.phase("push"):
             vm.charge_ops("push", pool.counts.astype(float))
-            if pool.n:
+            if backend is not None:
+                # workers interpolate + push their pool slices in place,
+                # reusing each slice's scatter-time CIC evaluation
+                backend.gather_push(pool, node_values, self.dt)
+            elif pool.n:
                 boris_push(grid, pool.array, eb[:3], eb[3:], self.dt)
         if self.movement == "eulerian":
             self._migrate_eulerian()
@@ -602,17 +604,43 @@ class ParallelPIC:
             self._pool = None
 
     def _migrate_eulerian_flat(self) -> None:
-        """Pooled Eulerian migration: one owner lookup, one sorted exchange."""
+        """Pooled Eulerian migration: one owner lookup, one sorted exchange.
+
+        With a multicore backend the owner lookup, per-segment stable
+        destination sort, and transport-matrix packing all run in the
+        workers; the send dicts they produce are byte-identical to
+        :func:`exchange_by_destination_pooled`'s partitioning, so the
+        machine sees the same messages either way.
+        """
         vm = self.vm
+        backend = self.backend
         with vm.phase("migration"):
             pool = self._ensure_pool()
-            parts = pool.array
-            cells = self.grid.cell_id_of_positions(parts.x, parts.y)
-            owner = self.decomp.owner_of_cells(cells)
-            matrix = parts.to_matrix()
-            vm.charge_ops("index", pool.counts.astype(float))
-            received = exchange_by_destination_pooled(vm, matrix, owner, pool.offsets)
-            self._install_pool(ParticlePool.from_matrices(received))
+            if backend is not None:
+                vm.charge_ops("index", pool.counts.astype(float))
+                sends = backend.migration_sends(pool, self.decomp.owner_map)
+                received = alltoall_concat(vm, sends)
+                self._install_pool(backend.pool_from_matrices(received))
+            else:
+                parts = pool.array
+                cells = self.grid.cell_id_of_positions(parts.x, parts.y)
+                owner = self.decomp.owner_of_cells(cells)
+                matrix = parts.to_matrix()
+                vm.charge_ops("index", pool.counts.astype(float))
+                received = exchange_by_destination_pooled(vm, matrix, owner, pool.offsets)
+                self._install_pool(ParticlePool.from_matrices(received))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the multicore backend if this stepper created it.
+
+        Backends passed in via ``backend=`` belong to their creator
+        (:class:`~repro.pic.simulation.Simulation` keeps one across
+        rank-failure recoveries) and are left running.
+        """
+        if self._owns_backend and self.backend is not None:
+            self.backend.close()
+        self.backend = None
 
     # ------------------------------------------------------------------
     def step(self) -> None:

@@ -272,9 +272,17 @@ class Simulation:
     the *entire* history so far, so a run restored with
     :meth:`from_checkpoint` and continued produces the same result object
     as the uninterrupted run (the exact-resume contract, DESIGN.md §5.2).
+
+    ``workers`` (int or ``"auto"``) enables the multicore shared-memory
+    backend for the flat engine's hot kernels.  It is deliberately *not*
+    part of :class:`SimulationConfig`: worker count is an execution
+    detail — results, checkpoints, and telemetry are byte-stable across
+    worker counts (DESIGN.md §5.5) — so it never appears in serialized
+    configs or checkpoints.  Call :meth:`close` (or drop the instance)
+    to release the worker processes.
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(self, config: SimulationConfig, *, workers: int | str = 0) -> None:
         self.config = config
         #: completed iterations (absolute; checkpoints resume from here)
         self.iteration = 0
@@ -295,6 +303,26 @@ class Simulation:
         self.partitioner = ParticlePartitioner(self.grid, config.scheme)
         self.decomp = self._build_decomposition()
         local = self._initial_assignment()
+        #: multicore execution backend (None = in-process kernels); owned
+        #: by the Simulation and shared across rank-failure recoveries
+        self.backend = None
+        from repro.parallel_exec import resolve_workers
+
+        if resolve_workers(workers) > 1:
+            if config.engine == "flat" and config.kernel == "era":
+                from repro.parallel_exec import create_backend
+
+                self.backend = create_backend(workers, self.grid)
+            else:
+                import warnings
+
+                warnings.warn(
+                    f"workers={workers!r} ignored: the multicore backend "
+                    f"applies only to engine='flat' with kernel='era' "
+                    f"(got engine={config.engine!r}, kernel={config.kernel!r})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self.redistributor: Redistributor | None = None
         self.rebalancer = None
         if config.partitioning == "adaptive":
@@ -303,7 +331,11 @@ class Simulation:
             self.rebalancer = AdaptiveMeshRebalancer(self.grid, config.scheme)
         self.policy = make_policy(config.policy)
         if config.movement == "lagrangian":
-            self.redistributor = Redistributor(self.partitioner, nbuckets=config.nbuckets)
+            self.redistributor = Redistributor(
+                self.partitioner,
+                nbuckets=config.nbuckets,
+                classifier=self.backend.classify if self.backend is not None else None,
+            )
             # Measure the setup distribution on the machine to seed the
             # dynamic policy's T_redistribution, then reset the clock so
             # run time starts at the first iteration (as in the paper).
@@ -342,6 +374,7 @@ class Simulation:
                 movement=config.movement,
                 field_solver=config.field_solver,
                 engine=config.engine,
+                backend=self.backend,
             )
         #: invariant guard (None when ``config.guards == "off"``: the hot
         #: paths then carry only dormant ``is None`` branches)
@@ -361,6 +394,26 @@ class Simulation:
         #: telemetry bundle (None until :meth:`enable_telemetry`); when
         #: off, every hot-path hook is a dormant ``is None`` branch
         self.telemetry = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the multicore backend's workers and shared memory.
+
+        Idempotent; a no-op for in-process runs.  Also triggered by
+        garbage collection, but long-lived drivers (benchmarks, test
+        loops) should call it explicitly to bound worker-process count.
+        """
+        if self.backend is not None:
+            self.backend.close()
+            self.backend = None
+        if getattr(self, "pic", None) is not None:
+            self.pic.backend = None
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def enable_telemetry(self):
@@ -674,7 +727,11 @@ class Simulation:
             self.rebalancer = AdaptiveMeshRebalancer(self.grid, cfg.scheme)
         self.redistributor = None
         if cfg.movement == "lagrangian":
-            self.redistributor = Redistributor(self.partitioner, nbuckets=cfg.nbuckets)
+            self.redistributor = Redistributor(
+                self.partitioner,
+                nbuckets=cfg.nbuckets,
+                classifier=self.backend.classify if self.backend is not None else None,
+            )
             local = self.redistributor.initialize(vm, local).particles
 
         # -- rebuild the stepper on the shrunk machine ----------------------
@@ -700,6 +757,7 @@ class Simulation:
                 movement=cfg.movement,
                 field_solver=cfg.field_solver,
                 engine=cfg.engine,
+                backend=self.backend,
             )
         self.pic.fields = fields
         self.pic.iteration = restart_iteration
@@ -826,7 +884,13 @@ class Simulation:
         return written
 
     @classmethod
-    def from_checkpoint(cls, path: str | Path, *, guards: str | None = None) -> "Simulation":
+    def from_checkpoint(
+        cls,
+        path: str | Path,
+        *,
+        guards: str | None = None,
+        workers: int | str = 0,
+    ) -> "Simulation":
         """Rebuild a :class:`Simulation` from a v2 checkpoint, exactly.
 
         The configuration embedded in the checkpoint reconstructs the
@@ -837,6 +901,11 @@ class Simulation:
         ``guards`` overrides the checkpointed guard severity; with
         ``guards="strict"`` a legacy format-v1 file is refused with
         :class:`CheckpointError` instead of loading degraded.
+
+        ``workers`` enables the multicore backend for the resumed run —
+        a checkpoint never records a worker count (execution detail),
+        so any run can resume with any ``workers`` value and produce
+        bit-identical results.
         """
         if guards is not None:
             require(
@@ -853,7 +922,7 @@ class Simulation:
         cfg = config_from_dict(data.run_state["config"])
         if guards is not None and guards != cfg.guards:
             cfg = replace(cfg, guards=guards)
-        sim = cls(cfg)
+        sim = cls(cfg, workers=workers)
         sim._restore(data)
         sim._last_checkpoint = Path(path)
         return sim

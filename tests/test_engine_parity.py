@@ -4,10 +4,14 @@ The flat engine replaces ``for r in range(p)`` phase loops with single
 pooled kernels, but the virtual machine must not be able to tell the
 difference: identical virtual time, identical per-category op counts,
 identical per-rank clocks, and identical per-phase message statistics.
-Physical state (particles, fields) is pinned at ``atol=1e-12`` — pooled
-``bincount`` deposition regroups the same floating-point additions, so
-bit-equality is not expected there, only accounting bit-equality.
+Physical state (particles, fields) is pinned at ``atol=1e-12`` between
+the engines; since the flat scatter adopted the looped engine's per-rank
+deposition association the engines actually agree bit-for-bit, and the
+multicore backend (``workers=N``) is *required* to: sharding may never
+perturb a single bit of state or accounting (DESIGN.md §5.5).
 """
+
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -15,8 +19,15 @@ import pytest
 from repro.core import ParticlePartitioner
 from repro.machine import MachineModel, VirtualMachine
 from repro.mesh import CurveBlockDecomposition, Grid2D
+from repro.parallel_exec import shared_memory_available
 from repro.particles import ParticleArray, ParticlePool, gaussian_blob, uniform_plasma
 from repro.pic import ParallelPIC
+
+needs_multicore = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods()
+    or not shared_memory_available(),
+    reason="fork or multiprocessing.shared_memory unavailable",
+)
 
 
 def _build(engine, *, p=6, movement="lagrangian", ghost_table="hash",
@@ -130,6 +141,77 @@ class TestPhysicalParity:
             assert sorted(gl) == sorted(gf)
             for owner in gl:
                 np.testing.assert_array_equal(gf[owner], gl[owner])
+
+
+class TestMulticoreParity:
+    """flat+workers must be *bit-identical* to serial flat — accounting
+    AND physical state — for every worker count (DESIGN.md §5.5)."""
+
+    def _assert_state_identical(self, pic_a, pic_b):
+        par_a, par_b = pic_a.all_particles(), pic_b.all_particles()
+        assert par_b.n == par_a.n
+        oa, ob = np.argsort(par_a.ids), np.argsort(par_b.ids)
+        np.testing.assert_array_equal(par_b.ids[ob], par_a.ids[oa])
+        for attr in ("x", "y", "ux", "uy", "uz"):
+            np.testing.assert_array_equal(
+                getattr(par_b, attr)[ob], getattr(par_a, attr)[oa],
+                err_msg=f"particle {attr} not bit-identical across worker counts",
+            )
+        for field in ("ex", "ey", "ez", "bx", "by", "bz", "rho"):
+            np.testing.assert_array_equal(
+                getattr(pic_b.fields, field), getattr(pic_a.fields, field),
+                err_msg=f"field {field} not bit-identical across worker counts",
+            )
+
+    @needs_multicore
+    @pytest.mark.parametrize("movement", ["lagrangian", "eulerian"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_workers_bit_identical(self, workers, movement):
+        vm_s, pic_s = _build("flat", movement=movement)
+        vm_w, pic_w = _build("flat", movement=movement, workers=workers)
+        try:
+            for _ in range(4):
+                pic_s.step()
+                pic_w.step()
+            _assert_accounting_equal(vm_s, vm_w)
+            self._assert_state_identical(pic_s, pic_w)
+        finally:
+            pic_w.close()
+
+    @needs_multicore
+    def test_three_way_accounting(self):
+        """looped ≡ flat ≡ flat+workers on the same virtual machine run."""
+        vm_l, pic_l = _build("looped")
+        vm_f, pic_f = _build("flat")
+        vm_w, pic_w = _build("flat", workers=2)
+        try:
+            for _ in range(4):
+                pic_l.step()
+                pic_f.step()
+                pic_w.step()
+            _assert_accounting_equal(vm_l, vm_f)
+            _assert_accounting_equal(vm_l, vm_w)
+            self._assert_state_identical(pic_f, pic_w)
+        finally:
+            pic_w.close()
+
+    @needs_multicore
+    def test_workers_survive_repartition(self):
+        """Pool rebuilds (redistribution-style) keep worker runs identical."""
+        _, pic_s = _build("flat")
+        _, pic_w = _build("flat", workers=2)
+        try:
+            for _ in range(2):
+                pic_s.step()
+                pic_w.step()
+            pic_s.particles = [p.copy() for p in pic_s.particles]
+            pic_w.particles = [p.copy() for p in pic_w.particles]
+            for _ in range(2):
+                pic_s.step()
+                pic_w.step()
+            self._assert_state_identical(pic_s, pic_w)
+        finally:
+            pic_w.close()
 
 
 class TestPoolLifecycle:

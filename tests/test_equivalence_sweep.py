@@ -6,6 +6,8 @@ and asserts that the parallel PIC reproduces the sequential reference —
 the strongest single invariant in the library.
 """
 
+import multiprocessing
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -19,8 +21,13 @@ from repro.mesh import (
     Grid2D,
     ScatterDecomposition,
 )
+from repro.parallel_exec import shared_memory_available
 from repro.particles import gaussian_blob, uniform_plasma
 from repro.pic import ParallelPIC, SequentialPIC
+
+_MULTICORE_OK = (
+    "fork" in multiprocessing.get_all_start_methods() and shared_memory_available()
+)
 
 
 @st.composite
@@ -34,17 +41,26 @@ def configurations(draw):
     decomp_kind = draw(st.sampled_from(["curve", "block", "scatter"]))
     movement = draw(st.sampled_from(["lagrangian", "eulerian"]))
     engine = draw(st.sampled_from(["looped", "flat"]))
+    # The multicore backend only exists for the flat engine; elsewhere
+    # (and where fork/shm is unavailable) workers stays 0.
+    workers = (
+        draw(st.sampled_from([0, 1, 2, 4]))
+        if engine == "flat" and _MULTICORE_OK
+        else 0
+    )
     dist = draw(st.sampled_from(["uniform", "blob"]))
     seed = draw(st.integers(0, 10**6))
     steps = draw(st.integers(1, 4))
-    return (nx, ny, n, p, scheme, table, decomp_kind, movement, engine, dist, seed, steps)
+    return (nx, ny, n, p, scheme, table, decomp_kind, movement, engine, workers,
+            dist, seed, steps)
 
 
 class TestEquivalenceSweep:
     @given(cfg=configurations())
     @settings(max_examples=25, deadline=None)
     def test_parallel_equals_sequential(self, cfg):
-        nx, ny, n, p, scheme, table, decomp_kind, movement, engine, dist, seed, steps = cfg
+        (nx, ny, n, p, scheme, table, decomp_kind, movement, engine, workers,
+         dist, seed, steps) = cfg
         grid = Grid2D(nx, ny)
         sampler = uniform_plasma if dist == "uniform" else gaussian_blob
         particles = sampler(grid, n, rng=seed)
@@ -58,22 +74,26 @@ class TestEquivalenceSweep:
             decomp = ScatterDecomposition(grid, p)
         local = ParticlePartitioner(grid, scheme).initial_partition(particles, p)
         pic = ParallelPIC(
-            vm, grid, decomp, local, ghost_table=table, movement=movement, engine=engine
+            vm, grid, decomp, local, ghost_table=table, movement=movement,
+            engine=engine, workers=workers,
         )
         seq = SequentialPIC(grid, particles.copy(), dt=pic.dt)
-        for _ in range(steps):
-            pic.step()
-            seq.step()
+        try:
+            for _ in range(steps):
+                pic.step()
+                seq.step()
 
-        par = pic.all_particles()
-        assert par.n == seq.particles.n
-        po = np.argsort(par.ids)
-        so = np.argsort(seq.particles.ids)
-        np.testing.assert_allclose(par.x[po], seq.particles.x[so], atol=1e-9)
-        np.testing.assert_allclose(par.y[po], seq.particles.y[so], atol=1e-9)
-        np.testing.assert_allclose(par.ux[po], seq.particles.ux[so], atol=1e-9)
-        np.testing.assert_allclose(pic.fields.ez, seq.fields.ez, atol=1e-9)
-        np.testing.assert_allclose(pic.fields.rho, seq.fields.rho, atol=1e-9)
+            par = pic.all_particles()
+            assert par.n == seq.particles.n
+            po = np.argsort(par.ids)
+            so = np.argsort(seq.particles.ids)
+            np.testing.assert_allclose(par.x[po], seq.particles.x[so], atol=1e-9)
+            np.testing.assert_allclose(par.y[po], seq.particles.y[so], atol=1e-9)
+            np.testing.assert_allclose(par.ux[po], seq.particles.ux[so], atol=1e-9)
+            np.testing.assert_allclose(pic.fields.ez, seq.fields.ez, atol=1e-9)
+            np.testing.assert_allclose(pic.fields.rho, seq.fields.rho, atol=1e-9)
+        finally:
+            pic.close()
 
 
 class TestFullMatrix:
