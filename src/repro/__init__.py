@@ -52,12 +52,20 @@ from repro.pic import (
     SimulationResult,
 )
 from repro.core import (
+    CostModelPredictivePolicy,
     DynamicSARPolicy,
+    ImbalanceThresholdPolicy,
+    OnlineTunedSAR,
+    OptimalPlannerPolicy,
     ParticlePartitioner,
     PeriodicPolicy,
     Redistributor,
     StaticPolicy,
+    available_policies,
     make_policy,
+    policy_spec,
+    register_policy,
+    replay_decision,
 )
 
 __version__ = "1.0.0"
@@ -101,5 +109,13 @@ __all__ = [
     "StaticPolicy",
     "PeriodicPolicy",
     "DynamicSARPolicy",
+    "OnlineTunedSAR",
+    "CostModelPredictivePolicy",
+    "ImbalanceThresholdPolicy",
+    "OptimalPlannerPolicy",
+    "register_policy",
+    "available_policies",
     "make_policy",
+    "policy_spec",
+    "replay_decision",
 ]

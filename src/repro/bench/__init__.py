@@ -28,9 +28,21 @@ from repro.bench.registry import (
     register,
     register_case,
 )
+from repro.bench.policy_suite import (
+    POLICY_SCHEMA,
+    render_matrix,
+    run_policy_cell,
+    run_policy_matrix,
+    save_matrix,
+)
 from repro.bench.runner import peak_rss_kb, run_case, run_suite
 
 __all__ = [
+    "POLICY_SCHEMA",
+    "run_policy_cell",
+    "run_policy_matrix",
+    "render_matrix",
+    "save_matrix",
     "SCHEMA",
     "BenchCase",
     "BenchObservation",

@@ -12,7 +12,9 @@ Usage examples::
     python -m repro report run.jsonl --trace run.trace.json
     python -m repro scenarios
     python -m repro schemes
+    python -m repro policies
     python -m repro bench run --suite smoke --json
+    python -m repro bench policy --smoke --output BENCH_policies.json
     python -m repro bench compare BENCH_old.json BENCH_smoke.json
 """
 
@@ -59,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["uniform", "irregular", "two_stream", "ring"])
     run.add_argument("--scheme", default="hilbert")
     run.add_argument("--policy", default="dynamic",
-                     help="static | dynamic | periodic:<k>")
+                     help="redistribution policy spec, e.g. static | dynamic | "
+                          "periodic:<k> | sar-ewma | costmodel:horizon=50 | "
+                          "imbalance:threshold=1.4 | planner "
+                          "(see `repro policies` for the registry)")
     run.add_argument("--movement", default="lagrangian",
                      choices=["lagrangian", "eulerian"])
     run.add_argument("--partitioning", default="independent",
@@ -140,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list the paper's experiment configurations")
     sub.add_parser("schemes", help="list registered indexing schemes")
+    sub.add_parser(
+        "policies",
+        help="list the registered redistribution policies and their spec parameters",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -179,6 +188,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     blist = bench_sub.add_parser("list", help="list registered cases")
     blist.add_argument("--suite", default="all", help="restrict to one suite")
+
+    bpol = bench_sub.add_parser(
+        "policy",
+        help="run the policy x workload x engine matrix and crown per-workload winners",
+    )
+    bpol.add_argument("--policy", action="append", default=None, metavar="SPEC",
+                      help="policy spec to include (repeatable; default: the full zoo)")
+    bpol.add_argument("--workload", action="append", default=None,
+                      metavar="CLASS",
+                      help="workload class: uniform | clustered | drifting "
+                           "(repeatable; default: all three)")
+    bpol.add_argument("--engine", action="append", default=None,
+                      metavar="ENGINE",
+                      help="execution engine: flat | looped (repeatable; default: both)")
+    bpol.add_argument("--smoke", action="store_true",
+                      help="CI scale: fewer particles and iterations, same matrix shape")
+    bpol.add_argument("--output", metavar="PATH", default="BENCH_policies.json",
+                      help="matrix document path (default BENCH_policies.json)")
+    bpol.add_argument("--json", action="store_true",
+                      help="also print the matrix document to stdout")
     return parser
 
 
@@ -417,6 +446,29 @@ def _cmd_schemes() -> int:
     return 0
 
 
+def _cmd_policies() -> int:
+    from repro.core.policies import available_policies, policy_entry
+
+    rows = []
+    for name in available_policies():
+        cls = policy_entry(name)
+        if cls.PARAMS:
+            params = ", ".join(
+                f"{p}" + ("" if param.required else f"={param.fmt(param.default)}")
+                for p, param in cls.PARAMS.items()
+            )
+        else:
+            params = "-"
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        rows.append([name, cls.__name__, params, doc])
+    print(format_table(
+        ["spec", "class", "parameters", "description"],
+        rows,
+        title="registered redistribution policies",
+    ))
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Run parallel vs sequential on a small problem and compare."""
     from repro.core import ParticlePartitioner
@@ -541,6 +593,49 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _cmd_bench_policy(args: argparse.Namespace) -> int:
+    from repro.bench.policy_suite import (
+        ENGINES,
+        ZOO_SPECS,
+        render_matrix,
+        run_policy_matrix,
+        save_matrix,
+    )
+    from repro.core.policies import make_policy
+
+    policies = tuple(args.policy) if args.policy else ZOO_SPECS
+    for spec in policies:
+        try:
+            make_policy(spec)
+        except ValueError as exc:
+            raise SystemExit(f"--policy: {exc}")
+    engines = tuple(args.engine) if args.engine else ENGINES
+    for engine in engines:
+        if engine not in ENGINES:
+            raise SystemExit(f"--engine must be one of {ENGINES}, got {engine!r}")
+
+    def progress(name: str) -> None:
+        print(f"[policy] {name} ...", file=sys.stderr, flush=True)
+
+    try:
+        doc = run_policy_matrix(
+            policies,
+            args.workload,
+            engines,
+            smoke=args.smoke,
+            progress=progress,
+        )
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(str(exc))
+    path = save_matrix(doc, args.output)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_matrix(doc))
+    print(f"[written to {path}]", file=sys.stderr)
+    return 0 if doc["engine_parity"] else 1
+
+
 def _cmd_bench_list(args: argparse.Namespace) -> int:
     from repro.bench import cases_for_suite
 
@@ -567,6 +662,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenarios()
     if args.command == "schemes":
         return _cmd_schemes()
+    if args.command == "policies":
+        return _cmd_policies()
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "bench":
@@ -576,6 +673,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench_compare(args)
         if args.bench_command == "list":
             return _cmd_bench_list(args)
+        if args.bench_command == "policy":
+            return _cmd_bench_policy(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

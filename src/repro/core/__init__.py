@@ -24,11 +24,19 @@ from repro.core.load_balance import order_maintaining_balance
 from repro.core.metrics import load_imbalance, particle_counts
 from repro.core.partitioner import ParticlePartitioner
 from repro.core.policies import (
+    CostModelPredictivePolicy,
     DynamicSARPolicy,
+    ImbalanceThresholdPolicy,
+    OnlineTunedSAR,
+    OptimalPlannerPolicy,
     PeriodicPolicy,
     RedistributionPolicy,
     StaticPolicy,
+    available_policies,
     make_policy,
+    policy_spec,
+    register_policy,
+    replay_decision,
 )
 from repro.core.redistribution import Redistributor
 
@@ -41,7 +49,15 @@ __all__ = [
     "StaticPolicy",
     "PeriodicPolicy",
     "DynamicSARPolicy",
+    "OnlineTunedSAR",
+    "CostModelPredictivePolicy",
+    "ImbalanceThresholdPolicy",
+    "OptimalPlannerPolicy",
+    "register_policy",
+    "available_policies",
     "make_policy",
+    "policy_spec",
+    "replay_decision",
     "Redistributor",
     "bounding_box_area",
     "subdomain_overlap_fraction",

@@ -1,0 +1,52 @@
+"""Redistribution policies (paper §5.2) and the policy-spec registry.
+
+Importing this package registers the full zoo: the paper's three
+classic policies (:mod:`repro.core.policies.classic`) and the extended
+alternatives (:mod:`repro.core.policies.zoo`).  Third-party policies
+join the same machinery by subclassing :class:`RedistributionPolicy`
+and decorating with :func:`register_policy` — after which
+:func:`make_policy`, :func:`policy_spec`, :func:`policy_from_state`,
+and :func:`replay_decision` all handle them with no further wiring.
+"""
+
+from repro.core.policies.base import Param, REQUIRED, RedistributionPolicy
+from repro.core.policies.registry import (
+    available_policies,
+    make_policy,
+    policy_entry,
+    policy_from_state,
+    policy_spec,
+    register_policy,
+    replay_decision,
+)
+from repro.core.policies.classic import (
+    DynamicSARPolicy,
+    PeriodicPolicy,
+    StaticPolicy,
+)
+from repro.core.policies.zoo import (
+    CostModelPredictivePolicy,
+    ImbalanceThresholdPolicy,
+    OnlineTunedSAR,
+    OptimalPlannerPolicy,
+)
+
+__all__ = [
+    "RedistributionPolicy",
+    "Param",
+    "REQUIRED",
+    "StaticPolicy",
+    "PeriodicPolicy",
+    "DynamicSARPolicy",
+    "OnlineTunedSAR",
+    "CostModelPredictivePolicy",
+    "ImbalanceThresholdPolicy",
+    "OptimalPlannerPolicy",
+    "register_policy",
+    "available_policies",
+    "policy_entry",
+    "make_policy",
+    "policy_spec",
+    "policy_from_state",
+    "replay_decision",
+]

@@ -1,0 +1,173 @@
+"""Base class and spec-parameter model of the redistribution-policy zoo.
+
+A :class:`RedistributionPolicy` decides, after each iteration, whether
+the driver should redistribute particles.  Policies observe the run
+through three feeds — per-iteration execution times
+(:meth:`~RedistributionPolicy.record_iteration`), per-rank particle
+counts (:meth:`~RedistributionPolicy.record_load`, only called when the
+policy sets ``needs_load``), and measured redistribution costs
+(:meth:`~RedistributionPolicy.record_redistribution`) — and are queried
+with :meth:`~RedistributionPolicy.should_redistribute` after every
+iteration.
+
+Every concrete policy lives in the spec registry
+(:mod:`repro.core.policies.registry`): its :attr:`PARAMS` table defines
+the ``name:key=value,...`` spec grammar, its :meth:`state_dict` /
+:meth:`load_state` pair defines exact-resume checkpointing, and its
+:meth:`replay` classmethod re-derives a decision record's verdict from
+the record's own inputs (the replayability contract of DESIGN.md §5.6).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Param", "REQUIRED", "RedistributionPolicy"]
+
+#: Sentinel default for spec parameters that must be given explicitly.
+REQUIRED = object()
+
+
+def _default_fmt(value) -> str:
+    """Render a parameter value into spec-string form (round-trippable)."""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Param:
+    """One entry of a policy's :attr:`RedistributionPolicy.PARAMS` table.
+
+    Parameters
+    ----------
+    convert:
+        Callable turning a spec-string token (or an already-typed value
+        from a ``state_dict``) into the parameter's type.
+    default:
+        Value used when the spec omits the parameter; :data:`REQUIRED`
+        makes the parameter mandatory.
+    fmt:
+        Value-to-string renderer for canonical specs.
+    help:
+        One-line description for ``repro policies``.
+    """
+
+    convert: Callable
+    default: object = REQUIRED
+    fmt: Callable = field(default=_default_fmt)
+    help: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+
+class RedistributionPolicy(ABC):
+    """Decides, after each iteration, whether to redistribute particles."""
+
+    #: Registry/spec name (set by concrete classes).
+    name: str = "abstract"
+
+    #: Declarative spec parameters: ``{constructor kwarg: Param}``.  The
+    #: registry derives parsing (``make_policy``), canonical rendering
+    #: (``policy_spec``), and default construction (``policy_from_state``)
+    #: from this table.
+    PARAMS: dict[str, Param] = {}
+
+    #: Name of the parameter accepted positionally (``periodic:25``);
+    #: ``None`` means key=value form only.
+    POSITIONAL: str | None = None
+
+    #: Whether the driver should feed per-rank particle counts through
+    #: :meth:`record_load` every iteration.  ``False`` keeps the hot
+    #: loop free of per-iteration count gathering for policies that
+    #: never look at it.
+    needs_load: bool = False
+
+    #: Optional telemetry sink: a callable receiving one dict per
+    #: :meth:`should_redistribute` evaluation (the decision inputs and
+    #: the verdict).  ``None`` (the default) keeps the decision path on
+    #: a single dormant branch — policies never pay for telemetry that
+    #: is not attached.  The sink is transient observer state: it is
+    #: *not* serialized by :meth:`state_dict` and must be re-wired after
+    #: a checkpoint restore.
+    decision_sink = None
+
+    @abstractmethod
+    def should_redistribute(self, iteration: int) -> bool:
+        """Return True to trigger redistribution after ``iteration``."""
+
+    def record_iteration(self, iteration: int, t_iter: float) -> None:
+        """Observe the execution time of ``iteration`` (seconds)."""
+
+    def record_load(self, iteration: int, counts: list[int]) -> None:
+        """Observe per-rank particle counts (only if ``needs_load``)."""
+
+    def record_redistribution(self, iteration: int, cost: float) -> None:
+        """Observe that a redistribution costing ``cost`` ran after ``iteration``."""
+
+    def bind(self, vm) -> None:
+        """Attach the policy to the machine it will advise.
+
+        Called by the driver at construction and again after checkpoint
+        restore or rank-failure recovery (the machine may have shrunk).
+        Whatever a policy keeps from here is transient environment — it
+        must not enter :meth:`state_dict`, and decisions must replay
+        identically from the emitted records alone.
+        """
+
+    # -- decision telemetry ---------------------------------------------
+    def _emit(self, record: dict) -> None:
+        """Send one decision record to the sink (dormant when unset)."""
+        if self.decision_sink is not None:
+            self.decision_sink(record)
+
+    @classmethod
+    def replay(cls, record: dict) -> bool:
+        """Re-derive the fire/skip verdict from a decision record.
+
+        Must depend only on the record's own fields (never on live
+        policy state), so any logged decision can be audited offline.
+        """
+        raise NotImplementedError(f"{cls.__name__} does not define replay()")
+
+    # -- exact-resume checkpoint support --------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the policy's mutable state.
+
+        A policy restored from this snapshot must make the same
+        :meth:`should_redistribute` decisions as the uninterrupted
+        instance — subclasses with internal history override this and
+        :meth:`load_state`.
+        """
+        return {"type": type(self).__name__}
+
+    def load_state(self, state: dict) -> None:
+        """Restore mutable state from a :meth:`state_dict` snapshot."""
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RedistributionPolicy":
+        """Instantiate from a :meth:`state_dict` snapshot.
+
+        The default implementation constructs the policy from its
+        :attr:`PARAMS` defaults — pulling required parameters out of the
+        snapshot — and then applies :meth:`load_state`.
+        """
+        kwargs = {}
+        for pname, param in cls.PARAMS.items():
+            if pname in state:
+                kwargs[pname] = param.convert(state[pname])
+            elif param.required:
+                raise ValueError(
+                    f"policy state for {cls.__name__} is missing required "
+                    f"parameter {pname!r}"
+                )
+        policy = cls(**kwargs)
+        policy.load_state(state)
+        return policy
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

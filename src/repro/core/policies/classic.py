@@ -1,0 +1,187 @@
+"""The paper's three redistribution policies (§5.2).
+
+* :class:`StaticPolicy` — never redistribute (the paper's "static"
+  baseline in Figure 16).
+* :class:`PeriodicPolicy` — redistribute every ``k`` iterations; needs
+  the impractical pre-runtime tuning of ``k`` the paper criticizes.
+* :class:`DynamicSARPolicy` — the Stop-At-Rise heuristic adapted to
+  communication growth (Eq. 1): redistribute when the projected time
+  saved, ``(t1 - t0) * (i1 - i0)``, exceeds the expected redistribution
+  cost (taken from the previous redistribution).
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import Param, RedistributionPolicy
+from repro.core.policies.registry import register_policy
+from repro.util import require, require_positive
+
+__all__ = ["StaticPolicy", "PeriodicPolicy", "DynamicSARPolicy"]
+
+
+@register_policy
+class StaticPolicy(RedistributionPolicy):
+    """Never redistribute."""
+
+    name = "static"
+
+    def should_redistribute(self, iteration: int) -> bool:
+        self._emit({"policy": self.name, "iteration": iteration, "fired": False})
+        return False
+
+    @classmethod
+    def replay(cls, record: dict) -> bool:
+        return False
+
+
+@register_policy
+class PeriodicPolicy(RedistributionPolicy):
+    """Redistribute every ``period`` iterations (after iterations
+    ``period - 1``, ``2 * period - 1``, ...)."""
+
+    name = "periodic"
+    PARAMS = {
+        "period": Param(int, help="redistribute after every <period> iterations"),
+    }
+    POSITIONAL = "period"
+
+    def __init__(self, period: int) -> None:
+        require(period >= 1, f"period must be >= 1, got {period}")
+        self.period = period
+
+    def should_redistribute(self, iteration: int) -> bool:
+        fired = (iteration + 1) % self.period == 0
+        self._emit(
+            {
+                "policy": self.name,
+                "iteration": iteration,
+                "period": self.period,
+                "fired": fired,
+            }
+        )
+        return fired
+
+    @classmethod
+    def replay(cls, record: dict) -> bool:
+        return (record["iteration"] + 1) % record["period"] == 0
+
+    def state_dict(self) -> dict:
+        return {"type": type(self).__name__, "period": self.period}
+
+    def load_state(self, state: dict) -> None:
+        period = int(state["period"])
+        require(period >= 1, f"period must be >= 1, got {period}")
+        self.period = period
+
+    def __repr__(self) -> str:
+        return f"PeriodicPolicy(period={self.period})"
+
+
+@register_policy
+class DynamicSARPolicy(RedistributionPolicy):
+    """Stop-At-Rise policy (paper Eq. 1).
+
+    With ``(i0, t0)`` the *fastest* iteration observed since the last
+    redistribution and ``(i1, t1)`` the current one, trigger when
+    ``(t1 - t0) * (i1 - i0) >= T_redistribution``.
+
+    The window anchor is the minimum, not simply the first post-
+    redistribution iteration: the paper's ``t0`` is the balanced
+    execution time, and an anomalously slow first iteration (a
+    checkpoint write, a recovery, a fault slowdown) would otherwise
+    understate — or permanently negate — the rise and suppress the
+    trigger for the rest of the run.
+
+    ``initial_cost`` seeds ``T_redistribution`` before the first
+    redistribution has been measured; the simulation driver passes the
+    cost of the setup distribution.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, initial_cost: float = 0.0) -> None:
+        require_positive(initial_cost, "initial_cost", strict=False)
+        self.redistribution_cost = float(initial_cost)
+        self._i0: int | None = None
+        self._t0: float | None = None
+        self._t1: float | None = None
+        self._i1: int | None = None
+
+    def record_iteration(self, iteration: int, t_iter: float) -> None:
+        if self._t0 is None or t_iter < self._t0:
+            self._i0 = iteration
+            self._t0 = t_iter
+        self._i1 = iteration
+        self._t1 = t_iter
+
+    def should_redistribute(self, iteration: int) -> bool:
+        fired = False
+        rise: float | None = None
+        saved: float | None = None
+        window: int | None = None
+        if self._i0 is None or self._i1 is None:
+            reason = "no iteration observed since the last redistribution"
+        elif self._i1 <= self._i0:
+            reason = "window too short: need an iteration after i0"
+        else:
+            rise = self._t1 - self._t0
+            window = self._i1 - self._i0
+            if rise <= 0.0:
+                reason = "iteration time has not risen"
+            else:
+                saved = rise * window
+                fired = saved >= self.redistribution_cost
+                reason = None
+        # One record per evaluation, carrying every Eq. 1 input so a
+        # reader can replay `(t1 - t0)(i1 - i0) >= T_redistribution`
+        # and reproduce the verdict exactly.
+        self._emit(
+            {
+                "policy": self.name,
+                "iteration": iteration,
+                "i0": self._i0,
+                "i1": self._i1,
+                "t0": self._t0,
+                "t1": self._t1,
+                "rise": rise,
+                "window": window,
+                "projected_saving": saved,
+                "threshold": self.redistribution_cost,
+                "fired": fired,
+                "reason": reason,
+            }
+        )
+        return fired
+
+    @classmethod
+    def replay(cls, record: dict) -> bool:
+        if record.get("reason") is not None:
+            return False
+        return record["projected_saving"] >= record["threshold"]
+
+    def record_redistribution(self, iteration: int, cost: float) -> None:
+        self.redistribution_cost = float(cost)
+        self._i0 = None
+        self._t0 = None
+        self._i1 = None
+        self._t1 = None
+
+    def state_dict(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "redistribution_cost": self.redistribution_cost,
+            "i0": self._i0,
+            "t0": self._t0,
+            "i1": self._i1,
+            "t1": self._t1,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.redistribution_cost = float(state["redistribution_cost"])
+        self._i0 = None if state["i0"] is None else int(state["i0"])
+        self._t0 = None if state["t0"] is None else float(state["t0"])
+        self._i1 = None if state["i1"] is None else int(state["i1"])
+        self._t1 = None if state["t1"] is None else float(state["t1"])
+
+    def __repr__(self) -> str:
+        return f"DynamicSARPolicy(T_redistribution={self.redistribution_cost:g})"

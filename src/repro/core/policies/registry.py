@@ -1,0 +1,200 @@
+"""The policy spec registry: one grammar for configs, checkpoints, CLI.
+
+Every concrete policy class registers here (``@register_policy``), and
+the three public entry points — :func:`make_policy` (spec string →
+instance), :func:`policy_spec` (instance → canonical spec string), and
+:func:`policy_from_state` (checkpoint snapshot → instance) — all resolve
+through the same table.  Specs, configs, and checkpoints therefore
+round-trip by construction: anything :func:`policy_spec` emits,
+:func:`make_policy` accepts, and any registered policy's
+``state_dict()`` restores through :func:`policy_from_state`, including
+policies added after a checkpoint format froze.
+
+Spec grammar::
+
+    name                     e.g.  "static", "dynamic"
+    name:<value>             e.g.  "periodic:25"        (positional param)
+    name:k=v[,k=v...]        e.g.  "costmodel:horizon=50,alpha=0.5"
+
+Unknown names, unknown parameter keys, and unparseable values all raise
+``ValueError`` naming the offender and the registered alternatives.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import Param, RedistributionPolicy
+
+__all__ = [
+    "register_policy",
+    "make_policy",
+    "policy_spec",
+    "policy_from_state",
+    "replay_decision",
+    "available_policies",
+    "policy_entry",
+]
+
+#: spec name -> policy class
+_REGISTRY: dict[str, type[RedistributionPolicy]] = {}
+#: class __name__ -> policy class (checkpoint ``type`` key)
+_BY_CLASS: dict[str, type[RedistributionPolicy]] = {}
+
+
+def register_policy(cls: type[RedistributionPolicy]) -> type[RedistributionPolicy]:
+    """Class decorator adding ``cls`` to the spec registry.
+
+    The class must define a unique :attr:`~RedistributionPolicy.name`
+    and a :attr:`~RedistributionPolicy.PARAMS` table whose keys are
+    valid constructor keyword arguments.  Re-registering the same name
+    with a different class raises; registering the identical class
+    twice is a no-op (import-order safety).
+    """
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name or name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a non-empty spec name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"policy name {name!r} already registered to {existing.__name__}"
+        )
+    if cls.POSITIONAL is not None and cls.POSITIONAL not in cls.PARAMS:
+        raise ValueError(
+            f"{cls.__name__}.POSITIONAL={cls.POSITIONAL!r} is not in PARAMS"
+        )
+    for pname, param in cls.PARAMS.items():
+        if not isinstance(param, Param):
+            raise TypeError(f"{cls.__name__}.PARAMS[{pname!r}] is not a Param")
+    _REGISTRY[name] = cls
+    _BY_CLASS[cls.__name__] = cls
+    return cls
+
+
+def available_policies() -> list[str]:
+    """Sorted spec names of every registered policy."""
+    return sorted(_REGISTRY)
+
+
+def policy_entry(name: str) -> type[RedistributionPolicy]:
+    """The registered class for spec name ``name``."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        known = ", ".join(repr(n) for n in available_policies())
+        raise ValueError(f"unknown policy spec {name!r}; registered: {known}")
+    return cls
+
+
+def _parse_args(cls: type[RedistributionPolicy], rest: str, spec: str) -> dict:
+    """Parse the ``rest`` of ``name:rest`` into constructor kwargs."""
+    kwargs: dict = {}
+    if "=" not in rest:
+        if cls.POSITIONAL is None:
+            raise ValueError(
+                f"policy {cls.name!r} takes key=value arguments, got {spec!r}"
+            )
+        items = [(cls.POSITIONAL, rest)]
+    else:
+        items = []
+        for token in rest.split(","):
+            key, sep, value = token.partition("=")
+            if not sep or not key:
+                raise ValueError(f"bad policy argument {token!r} in spec {spec!r}")
+            items.append((key.strip(), value.strip()))
+    for key, value in items:
+        param = cls.PARAMS.get(key)
+        if param is None:
+            known = ", ".join(cls.PARAMS) or "(none)"
+            raise ValueError(
+                f"unknown parameter {key!r} for policy {cls.name!r}; known: {known}"
+            )
+        if key in kwargs:
+            raise ValueError(f"duplicate parameter {key!r} in spec {spec!r}")
+        try:
+            kwargs[key] = param.convert(value)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad value {value!r} for {cls.name}:{key} — {exc}"
+            ) from None
+    return kwargs
+
+
+def make_policy(spec: str | RedistributionPolicy) -> RedistributionPolicy:
+    """Build a policy from a spec string (see the module grammar).
+
+    An existing policy instance passes through unchanged.
+    """
+    if isinstance(spec, RedistributionPolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"policy spec must be a string or policy, got {type(spec).__name__}")
+    name, sep, rest = spec.partition(":")
+    cls = policy_entry(name)
+    kwargs = _parse_args(cls, rest, spec) if sep else {}
+    missing = [p for p, param in cls.PARAMS.items() if param.required and p not in kwargs]
+    if missing:
+        raise ValueError(
+            f"policy {name!r} requires parameter(s) {', '.join(missing)} "
+            f"(e.g. {name!r} + ':<value>' or ':{missing[0]}=<value>')"
+        )
+    return cls(**kwargs)
+
+
+def policy_spec(policy: str | RedistributionPolicy) -> str:
+    """Canonical spec string of a policy (inverse of :func:`make_policy`).
+
+    A spec string canonicalizes through a parse, so typos surface here
+    rather than at deserialization time.  Unregistered policy instances
+    raise — a spec the registry cannot load back is never emitted (the
+    round-trip-by-construction contract).
+    """
+    if isinstance(policy, str):
+        return policy_spec(make_policy(policy))
+    cls = _BY_CLASS.get(type(policy).__name__)
+    if cls is None or getattr(policy, "name", None) not in _REGISTRY:
+        raise ValueError(
+            f"policy {type(policy).__name__} is not registered; decorate it "
+            f"with @register_policy so configs and checkpoints can round-trip"
+        )
+    parts = []
+    for pname, param in cls.PARAMS.items():
+        value = getattr(policy, pname)
+        if not param.required and value == param.default:
+            continue
+        parts.append((pname, param.fmt(value)))
+    if not parts:
+        return cls.name
+    if cls.POSITIONAL is not None and [p for p, _ in parts] == [cls.POSITIONAL]:
+        return f"{cls.name}:{parts[0][1]}"
+    return f"{cls.name}:" + ",".join(f"{k}={v}" for k, v in parts)
+
+
+def policy_from_state(state: dict) -> RedistributionPolicy:
+    """Rebuild a policy instance from a :meth:`~RedistributionPolicy.state_dict`
+    snapshot, restoring all mutable internals.
+
+    The ``type`` key is resolved through the registry (by class name,
+    falling back to spec name), so every registered policy — including
+    ones added after a checkpoint was written — restores without a
+    hard-coded class list.
+    """
+    kind = state.get("type")
+    cls = _BY_CLASS.get(kind) or _REGISTRY.get(kind)
+    if cls is None:
+        known = sorted(_BY_CLASS)
+        raise ValueError(f"unknown policy type {kind!r} in checkpoint; known: {known}")
+    return cls.from_state(state)
+
+
+def replay_decision(record: dict) -> bool:
+    """Re-derive a decision record's fire/skip verdict from its inputs.
+
+    Dispatches on the record's ``policy`` field; raises ``ValueError``
+    for unregistered policy names.  ``replay_decision(r) == r["fired"]``
+    for every record a registered policy emits — the audit contract the
+    telemetry tests and ``repro report`` rely on.
+    """
+    name = record.get("policy")
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        known = ", ".join(repr(n) for n in available_policies())
+        raise ValueError(f"decision record names unknown policy {name!r}; registered: {known}")
+    return bool(cls.replay(record))

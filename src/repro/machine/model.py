@@ -7,12 +7,15 @@ paper states these assumptions "closely model the behavior of the CM-5".
 Computation is charged per *category* (scatter / gather / field / push /
 sort / index ...) so that experiments can separate "computation time"
 from "overhead" the way the paper's Figures 21–22 do.  Each category has
-a unit cost expressed as a multiple of ``delta``; unknown categories
-default to one ``delta`` per operation.
+a unit cost expressed as a multiple of ``delta``.  Charging a category
+the model has no weight for is almost always a caller typo that would
+silently distort every derived figure, so it warns once per category by
+default and raises under strict accounting (``guards="strict"``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -69,6 +72,10 @@ class MachineModel:
         require_positive(self.mu, "mu", strict=False)
         for key, weight in self.op_weights.items():
             require_positive(weight, f"op_weights[{key!r}]")
+        # Non-field mutable cache on a frozen dataclass: categories this
+        # instance has already warned about, so a hot loop charging a
+        # misspelled category does not flood stderr.
+        object.__setattr__(self, "_warned_categories", set())
 
     # ------------------------------------------------------------------
     # presets
@@ -134,11 +141,35 @@ class MachineModel:
     # ------------------------------------------------------------------
     # cost functions
     # ------------------------------------------------------------------
-    def compute_cost(self, category: str, count: float) -> float:
-        """Seconds of computation for ``count`` operations of ``category``."""
+    def compute_cost(self, category: str, count: float, *, strict: bool = False) -> float:
+        """Seconds of computation for ``count`` operations of ``category``.
+
+        A category outside :attr:`op_weights` is charged one ``delta``
+        per operation, but never silently: it warns once per category
+        (and instance), or raises ``ValueError`` when ``strict`` — the
+        way :class:`~repro.pic.simulation.Simulation` runs it under
+        ``guards="strict"``.  A typo'd category otherwise deflates the
+        charge by 1–2 orders of magnitude and skews every derived
+        compute/overhead split.
+        """
         if count < 0:
             raise ValueError(f"operation count must be >= 0, got {count}")
-        weight = self.op_weights.get(category, 1.0)
+        weight = self.op_weights.get(category)
+        if weight is None:
+            known = ", ".join(sorted(self.op_weights))
+            if strict:
+                raise ValueError(
+                    f"unknown op category {category!r}; known: {known}"
+                )
+            if category not in self._warned_categories:
+                self._warned_categories.add(category)
+                warnings.warn(
+                    f"charging unknown op category {category!r} at weight 1.0 "
+                    f"(known: {known}); pass an op_weights entry or fix the "
+                    f"category name",
+                    stacklevel=2,
+                )
+            weight = 1.0
         return count * weight * self.delta
 
     def message_cost(self, nbytes: float, nmessages: int = 1) -> float:

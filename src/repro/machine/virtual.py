@@ -37,6 +37,10 @@ class VirtualMachine:
         Number of virtual processors.
     model:
         Cost model; defaults to :meth:`MachineModel.cm5`.
+    strict_ops:
+        Raise on charging an op category the model has no weight for,
+        instead of the model's warn-once-and-charge-1.0 default.  Wired
+        from ``SimulationConfig(guards="strict")``.
 
     Attributes
     ----------
@@ -53,10 +57,13 @@ class VirtualMachine:
         the machine-independent work record the bench harness exports.
     """
 
-    def __init__(self, p: int, model: MachineModel | None = None) -> None:
+    def __init__(
+        self, p: int, model: MachineModel | None = None, *, strict_ops: bool = False
+    ) -> None:
         require(p >= 1, f"p must be >= 1, got {p}")
         self.p = p
         self.model = model if model is not None else MachineModel.cm5()
+        self.strict_ops = bool(strict_ops)
         self.clocks = np.zeros(p)
         self.compute_time = np.zeros(p)
         self.comm_time = np.zeros(p)
@@ -156,7 +163,9 @@ class VirtualMachine:
         """
         counts = np.broadcast_to(np.asarray(counts, dtype=float), (self.p,))
         self.ops.add(category, float(counts.sum()))
-        seconds = np.array([self.model.compute_cost(category, c) for c in counts])
+        seconds = np.array(
+            [self.model.compute_cost(category, c, strict=self.strict_ops) for c in counts]
+        )
         self._charge(seconds, kind="compute")
 
     def charge_compute_seconds(self, seconds: float | np.ndarray) -> None:

@@ -69,7 +69,7 @@ class SimulationConfig:
     p: int = 8
     distribution: str = "uniform"  #: uniform | irregular | two_stream | ring
     scheme: str = "hilbert"  #: indexing scheme name
-    policy: str | RedistributionPolicy = "static"  #: static | periodic:<k> | dynamic
+    policy: str | RedistributionPolicy = "static"  #: any registered spec, e.g. static | periodic:<k> | dynamic | sar-ewma | costmodel:horizon=<n> | imbalance | planner
     movement: str = "lagrangian"  #: lagrangian | eulerian
     partitioning: str = "independent"  #: independent | grid | particle | adaptive
     ghost_table: str = "hash"  #: hash | direct
@@ -116,6 +116,11 @@ class SimulationConfig:
                 "the modern kernel has its own (Yee) field solve",
             )
         require(self.nparticles >= self.p, "need at least one particle per rank")
+        if isinstance(self.policy, str):
+            # Validate the spec at config time (the registry raises on
+            # unknown names/parameters), so a typo'd --policy fails here
+            # rather than deep inside Simulation construction.
+            make_policy(self.policy)
 
 
 def config_to_dict(cfg: SimulationConfig, *, full_model: bool = False) -> dict:
@@ -299,7 +304,9 @@ class Simulation:
             density=config.density,
             rng=config.seed,
         )
-        self.vm = VirtualMachine(config.p, config.model)
+        self.vm = VirtualMachine(
+            config.p, config.model, strict_ops=(config.guards == "strict")
+        )
         self.partitioner = ParticlePartitioner(self.grid, config.scheme)
         self.decomp = self._build_decomposition()
         local = self._initial_assignment()
@@ -330,6 +337,7 @@ class Simulation:
 
             self.rebalancer = AdaptiveMeshRebalancer(self.grid, config.scheme)
         self.policy = make_policy(config.policy)
+        self.policy.bind(self.vm)
         if config.movement == "lagrangian":
             self.redistributor = Redistributor(
                 self.partitioner,
@@ -552,6 +560,10 @@ class Simulation:
                 max_bytes = scatter.max_bytes if scatter is not None else 0
                 max_msgs = scatter.max_msgs if scatter is not None else 0
                 self.policy.record_iteration(it, t_iter)
+                if self.policy.needs_load:
+                    self.policy.record_load(
+                        it, [int(parts.n) for parts in self.pic.particles]
+                    )
                 redistributed = False
                 cost = 0.0
                 redis_epoch = None
@@ -642,7 +654,7 @@ class Simulation:
 
         # -- shrink the machine, carrying the accumulated time forward --
         cfg = replace(self.config, p=p_new)
-        vm = VirtualMachine(p_new, cfg.model)
+        vm = VirtualMachine(p_new, cfg.model, strict_ops=(cfg.guards == "strict"))
         vm.clocks[:] = t_fail
         vm.compute_time[:] = float(old_vm.compute_time.max())
         vm.comm_time[:] = float(old_vm.comm_time.max())
@@ -765,6 +777,9 @@ class Simulation:
         if self.guard is not None:
             self.pic.guard = self.guard
             self.guard.after_redistribution(self.pic.particles)
+        # the policy may have been rebuilt from checkpoint state, and
+        # either way it now advises a different (shrunk) machine
+        self.policy.bind(vm)
         vm.stats.snapshot_epoch()  # keep recovery comm out of the scatter series
         self.n_recoveries += 1
         self.recovery_time += (vm.elapsed() - t_fail) + plan.detect_timeout
@@ -957,6 +972,7 @@ class Simulation:
         self.trace = PhaseTrace(self.vm)
         self.trace.rows = [dict(row) for row in rs.get("trace_rows", [])]
         self.policy = policy_from_state(rs["policy"])
+        self.policy.bind(self.vm)
         if self.redistributor is not None:
             if data.sort_keys is None:
                 raise CheckpointError(

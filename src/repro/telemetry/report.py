@@ -27,7 +27,12 @@ from pathlib import Path
 from repro.machine.trace import PhaseTrace
 from repro.telemetry.schema import ParsedMetrics, validate_metrics, validate_trace
 
-__all__ = ["render_report", "render_comparison", "report_from_files"]
+__all__ = [
+    "render_report",
+    "render_comparison",
+    "render_decision_comparison",
+    "report_from_files",
+]
 
 _SPARK_GLYPHS = " .:-=+*#%@"
 
@@ -80,28 +85,68 @@ def _totals(metrics: ParsedMetrics) -> dict:
     }
 
 
+#: decision-record fields not shown in the per-evaluation detail column
+_DECISION_META = ("policy", "iteration", "fired", "reason")
+
+
+def _decision_detail(d: dict) -> str:
+    """Render one decision record's inputs, whatever the policy emitted."""
+    if d.get("reason") is not None:
+        return f"({d['reason']})"
+    parts = []
+    for key, value in d.items():
+        if key in _DECISION_META or value is None:
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
 def _decision_lines(metrics: ParsedMetrics, *, limit: int = 40) -> list[str]:
+    """One line per policy evaluation, plus an offline replay cross-check.
+
+    Every record is re-derived through
+    :func:`repro.core.policies.replay_decision`; records whose replayed
+    verdict disagrees with the logged ``fired`` flag (or whose policy is
+    unknown to this build) are flagged — the §5.6 audit the report
+    exists to make visible.
+    """
+    from repro.core.policies import replay_decision
+
     lines: list[str] = []
+    mismatches = 0
+    unknown = 0
+    total = 0
     for rec in metrics.iterations:
         for d in rec["sar_decisions"]:
+            total += 1
             verdict = "FIRE" if d.get("fired") else "skip"
+            flag = ""
+            try:
+                if replay_decision(d) != bool(d.get("fired")):
+                    mismatches += 1
+                    flag = "  REPLAY-MISMATCH"
+            except (ValueError, KeyError, NotImplementedError):
+                unknown += 1
             policy = d.get("policy", "?")
-            if policy == "dynamic" and d.get("window") is not None:
-                detail = (
-                    f"rise={d.get('rise', 0.0):.4g}  window={d['window']}  "
-                    f"saved={d.get('projected_saving', 0.0):.4g}  "
-                    f"T_redist={d.get('threshold', 0.0):.4g}"
-                )
-            elif policy == "dynamic":
-                detail = f"warming up ({d.get('reason', 'no window yet')})"
-            else:
-                detail = f"period={d.get('period')}" if "period" in d else ""
             lines.append(
-                f"  it {rec['iteration']:>4d}  [{policy:<8s}] {verdict:<4s}  {detail}"
+                f"  it {rec['iteration']:>4d}  [{policy:<9s}] {verdict:<4s}  "
+                f"{_decision_detail(d)}{flag}"
             )
     if len(lines) > limit:
         hidden = len(lines) - limit
         lines = lines[:limit] + [f"  ... {hidden} more evaluation(s) elided"]
+    if total:
+        check = (
+            f"  replay check: {total - mismatches - unknown}/{total} verdicts reproduced"
+        )
+        if mismatches:
+            check += f", {mismatches} MISMATCH(ES)"
+        if unknown:
+            check += f", {unknown} not replayable here"
+        lines.append(check)
     return lines
 
 
@@ -224,6 +269,37 @@ def render_comparison(runs: list[tuple[str, ParsedMetrics]]) -> str:
     return "\n".join(out)
 
 
+def render_decision_comparison(runs: list[tuple[str, ParsedMetrics]]) -> str:
+    """Decision behaviour of several runs side by side.
+
+    One row per run: which policy decided, how often it was evaluated,
+    how often it fired, when it first fired, and what the run paid —
+    the view that crowns a winner when the runs cover the same workload
+    under different policies (``repro bench policy`` feeds this).
+    """
+    out = ["=== decision comparison ==="]
+    header = (
+        f"{'run':<24s} {'policy':<12s} {'evals':>6s} {'fired':>6s} "
+        f"{'first':>6s} {'redist t':>10s} {'total t':>10s}"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+    for label, metrics in runs:
+        t = _totals(metrics)
+        decisions = [d for rec in metrics.iterations for d in rec["sar_decisions"]]
+        fired = [d for d in decisions if d.get("fired")]
+        policy = decisions[0]["policy"] if decisions else (
+            (metrics.header.get("config") or {}).get("policy", "?")
+        )
+        first = str(fired[0]["iteration"]) if fired else "-"
+        out.append(
+            f"{label:<24.24s} {str(policy):<12.12s} {len(decisions):>6d} "
+            f"{len(fired):>6d} {first:>6s} {t['redistribution_time']:>10.4f} "
+            f"{t['total_time']:>10.4f}"
+        )
+    return "\n".join(out)
+
+
 def report_from_files(
     metrics_paths: list[str | Path], trace_path: str | Path | None = None
 ) -> str:
@@ -238,4 +314,5 @@ def report_from_files(
     ]
     if len(runs) > 1:
         sections.append(render_comparison(runs))
+        sections.append(render_decision_comparison(runs))
     return "\n\n".join(sections)

@@ -100,6 +100,18 @@ class ParsedMetrics:
         return int(self.header["p"])
 
 
+def _check_decision(dec, ctx: str) -> None:
+    """One policy decision record (DESIGN.md §5.6 replayability contract)."""
+    if not isinstance(dec, dict):
+        _fail(f"{ctx} is not an object")
+    if not isinstance(dec.get("policy"), str) or not dec["policy"]:
+        _fail(f"{ctx} needs a non-empty 'policy' name")
+    if not isinstance(dec.get("iteration"), int):
+        _fail(f"{ctx} needs an integer 'iteration'")
+    if not isinstance(dec.get("fired"), bool):
+        _fail(f"{ctx} needs a boolean 'fired' verdict")
+
+
 _ITERATION_KEYS = (
     "iteration",
     "p",
@@ -172,6 +184,8 @@ def validate_metrics(source: str | Path | list[str]) -> ParsedMetrics:
                 )
             if not isinstance(rec["sar_decisions"], list):
                 _fail(f"{where}: iteration {rec['iteration']} sar_decisions must be a list")
+            for j, dec in enumerate(rec["sar_decisions"]):
+                _check_decision(dec, f"{where}: iteration {rec['iteration']} decision {j}")
             iterations.append(rec)
         elif kind == "event":
             if rec.get("kind") == "shrink":

@@ -47,9 +47,14 @@ class TestCosts:
             2 * model.compute_cost("scatter", 100)
         )
 
-    def test_compute_cost_unknown_category_uses_delta(self):
+    def test_compute_cost_unknown_category_warns_and_uses_delta(self):
         model = MachineModel.cm5()
-        assert model.compute_cost("mystery", 10) == pytest.approx(10 * model.delta)
+        with pytest.warns(UserWarning, match="unknown op category 'mystery'"):
+            assert model.compute_cost("mystery", 10) == pytest.approx(10 * model.delta)
+
+    def test_compute_cost_unknown_category_strict_raises(self):
+        with pytest.raises(ValueError, match="unknown op category"):
+            MachineModel.cm5().compute_cost("mystery", 10, strict=True)
 
     def test_compute_cost_rejects_negative(self):
         with pytest.raises(ValueError):
