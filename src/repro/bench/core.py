@@ -168,10 +168,10 @@ class SuiteResult:
         }
 
     def save(self, path: str | Path) -> Path:
-        """Write the JSON document to ``path``."""
-        path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        """Write the JSON document to ``path`` (atomically)."""
+        from repro.util.atomic_io import atomic_write_json
+
+        return atomic_write_json(Path(path), self.to_dict())
 
     @classmethod
     def load(cls, path: str | Path) -> "SuiteResult":

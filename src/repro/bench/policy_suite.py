@@ -266,5 +266,7 @@ def render_matrix(doc: dict) -> str:
 def save_matrix(doc: dict, path: str | Path) -> Path:
     """Write the matrix document to ``path`` as JSON; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    from repro.util.atomic_io import atomic_write_json
+
+    atomic_write_json(path, doc, sort_keys=True)
     return path

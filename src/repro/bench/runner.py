@@ -112,14 +112,30 @@ def run_suite(
     repeats: int | None = None,
     warmup: int | None = None,
     progress=None,
+    walltime: float | None = None,
 ) -> SuiteResult:
     """Run every case of a suite (in registration order).
 
     ``progress`` is an optional ``callable(case_name)`` invoked before
     each case — the CLI uses it for live status lines.
+
+    ``walltime`` (host seconds, default off) is the suite watchdog:
+    before each case the elapsed wall-clock is checked, and on expiry a
+    :class:`~repro.util.errors.JobTimeout` is raised whose ``partial``
+    attribute holds the :class:`SuiteResult` of the cases that did
+    complete — the CLI saves it so a timed-out CI run still yields a
+    usable (if incomplete) trajectory.
     """
     results = []
+    t0 = time.monotonic()
     for case in cases:
+        if walltime is not None and (elapsed := time.monotonic() - t0) >= walltime:
+            from repro.util.errors import JobTimeout
+
+            exc = JobTimeout(f"bench suite {suite!r}", walltime, elapsed)
+            exc.partial = SuiteResult(suite=suite, results=results)
+            exc.remaining = [c.name for c in cases[len(results):]]
+            raise exc
         if progress is not None:
             progress(case.name)
         results.append(run_case(case, repeats=repeats, warmup=warmup))

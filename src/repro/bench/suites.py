@@ -510,3 +510,71 @@ def _recovery_smoke(path: Path) -> BenchObservation:
     # recovery swapped sim.vm for the shrunk machine (which carried the
     # old elapsed/ops forward), so report its cumulative totals directly
     return BenchObservation(vm_seconds=sim.vm.elapsed(), op_counts=sim.vm.ops.as_dict())
+
+
+def _service_cache_fixture() -> dict:
+    # The cold batch runs once in setup (untimed): three p=32 jobs
+    # through the supervised scheduler, populating a scratch result
+    # cache.  The timed body is the warm resubmission, so the case's
+    # wall-clock IS the cache-hit path — lookup, digest verification,
+    # and report assembly, with zero worker processes launched.
+    import time
+
+    from repro.service import JobSpec, Scheduler
+
+    root = Path(tempfile.mkdtemp(prefix="repro_bench_svc_"))
+    jobs = [
+        JobSpec(
+            config=dict(
+                nx=_NX,
+                ny=_NY,
+                nparticles=_NPART,
+                p=_P,
+                distribution="irregular",
+                policy="dynamic",
+                seed=seed,
+                engine=_engine(),
+            ),
+            iterations=4,
+            name=f"bench-seed={seed}",
+        )
+        for seed in range(3)
+    ]
+    t0 = time.monotonic()
+    report = Scheduler(workers=2, cache=root / "cache", workdir=root / "work").run(jobs)
+    cold_wall = time.monotonic() - t0
+    assert report["ok"], report["counters"]
+    return {"root": root, "jobs": jobs, "cold_wall": cold_wall}
+
+
+@register(
+    "service_cache_hit_p32",
+    suites=("smoke", "full"),
+    tier=1,
+    repeats=3,
+    description="warm resubmission of a 3-job p=32 batch served entirely from "
+    "the result cache; pins the <1% warm/cold wall contract",
+    setup=_service_cache_fixture,
+)
+def _service_cache_hit(ctx: dict) -> BenchObservation:
+    import time
+
+    from repro.service import Scheduler
+
+    t0 = time.monotonic()
+    report = Scheduler(
+        workers=2, cache=ctx["root"] / "cache", workdir=ctx["root"] / "work"
+    ).run(ctx["jobs"])
+    warm_wall = time.monotonic() - t0
+    assert report["ok"], report["counters"]
+    assert report["counters"]["cache_hits"] == len(ctx["jobs"])
+    assert warm_wall < 0.01 * ctx["cold_wall"], (
+        f"warm batch took {warm_wall:.4f}s, "
+        f">= 1% of the {ctx['cold_wall']:.3f}s cold batch"
+    )
+    return BenchObservation(
+        extra={
+            "cold_wall": ctx["cold_wall"],
+            "warm_fraction": warm_wall / ctx["cold_wall"],
+        }
+    )

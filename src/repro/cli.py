@@ -16,6 +16,13 @@ Usage examples::
     python -m repro bench run --suite smoke --json
     python -m repro bench policy --smoke --output BENCH_policies.json
     python -m repro bench compare BENCH_old.json BENCH_smoke.json
+    python -m repro submit jobs.json --jobs 4 --retries 2 --cache .repro-cache
+    python -m repro jobs batch_report.json
+
+Exit codes: 0 success, 1 failure; ``124`` means a ``--timeout``
+wall-clock watchdog expired (coreutils ``timeout(1)`` convention) — for
+``repro run``/``resume`` the final checkpoint was still written when
+checkpointing was configured, so the run can be resumed.
 """
 
 from __future__ import annotations
@@ -32,7 +39,10 @@ from repro.pic import Simulation, SimulationConfig, SimulationResult
 from repro.workloads import FIG16_CASES, FIG17_CASE, FIG20_CASE, TABLE2_CASES
 from repro.workloads.scenarios import PaperCase
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_TIMEOUT"]
+
+#: Exit code when a --timeout watchdog expired (coreutils convention).
+EXIT_TIMEOUT = 124
 
 
 def _all_cases() -> dict[str, PaperCase]:
@@ -103,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", metavar="PATH",
                      help="write per-iteration metrics JSONL (load imbalance, "
                           "comm tallies, SAR decisions, events)")
+    run.add_argument("--timeout", type=float, metavar="S", default=None,
+                     help="wall-clock watchdog: stop after S seconds (at an "
+                          "iteration boundary), write a final checkpoint if "
+                          "checkpointing is on, and exit with code 124")
 
     resume = sub.add_parser(
         "resume", help="resume a checkpointed run exactly where it left off"
@@ -131,6 +145,52 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Perfetto/Chrome trace JSON of the resumed run")
     resume.add_argument("--metrics", metavar="PATH",
                         help="write per-iteration metrics JSONL of the resumed run")
+    resume.add_argument("--timeout", type=float, metavar="S", default=None,
+                        help="wall-clock watchdog: stop after S seconds and "
+                             "exit with code 124 (see `run --timeout`)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="run a batch of jobs under the fault-tolerant scheduler",
+    )
+    submit.add_argument("file",
+                        help="job file: a JSON list of jobs, {'jobs': [...]}, or "
+                             "a {'base': ..., 'sweep': {...}} sweep (see EXPERIMENTS.md)")
+    submit.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="concurrent worker processes (default 2)")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock deadline; expired attempts are "
+                             "killed and retried from their last checkpoint")
+    submit.add_argument("--retries", type=int, default=2, metavar="K",
+                        help="retry budget per job (default 2; attempts = K+1)")
+    submit.add_argument("--cache", default=".repro-cache", metavar="DIR",
+                        help="content-addressed result cache root "
+                             "(default .repro-cache); repeat submissions are "
+                             "served bit-identically from here")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="always recompute; do not read or write the cache")
+    submit.add_argument("--max-failures", type=int, default=0, metavar="M",
+                        help="circuit breaker: after M distinct job failures, "
+                             "cancel the rest of the batch (0 = off)")
+    submit.add_argument("--heartbeat-timeout", type=float, default=60.0, metavar="S",
+                        help="kill a worker silent for S seconds (default 60)")
+    submit.add_argument("--checkpoint-every", type=int, default=2, metavar="K",
+                        help="worker checkpoint cadence in iterations (default 2); "
+                             "retries resume from the last checkpoint")
+    submit.add_argument("--workdir", default=None, metavar="DIR",
+                        help="scratch dir for in-progress checkpoints "
+                             "(default <cache>/work)")
+    submit.add_argument("--report", default=None, metavar="PATH",
+                        help="write the batch report JSON (repro-batch/1) to PATH")
+    submit.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write scheduler telemetry JSONL (repro-service/1)")
+    submit.add_argument("--json", action="store_true",
+                        help="print the batch report JSON to stdout")
+
+    jobs_p = sub.add_parser(
+        "jobs", help="render the status table of a saved batch report"
+    )
+    jobs_p.add_argument("report", help="batch report JSON written by `submit --report`")
 
     report = sub.add_parser(
         "report",
@@ -175,6 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="trajectory file path (default BENCH_<suite>.json in cwd)")
     brun.add_argument("--json", action="store_true",
                       help="also print the trajectory document to stdout")
+    brun.add_argument("--timeout", type=float, metavar="S", default=None,
+                      help="suite wall-clock watchdog: stop before the next "
+                           "case once S seconds elapsed, save the partial "
+                           "trajectory, and exit with code 124")
 
     bcmp = bench_sub.add_parser(
         "compare", help="diff two trajectory files; exit 1 on tier-1 regressions"
@@ -371,7 +435,27 @@ def _workers_arg(args: argparse.Namespace) -> str | int:
     return args.workers
 
 
+def _timeout_arg(args: argparse.Namespace) -> float | None:
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be > 0 seconds, got {args.timeout}")
+    return args.timeout
+
+
+def _on_run_timeout(sim: Simulation, args: argparse.Namespace, exc) -> int:
+    """Watchdog expiry: save what we have, report, exit with code 124."""
+    _save_telemetry(sim, args)
+    sim.close()
+    ck = " (final checkpoint written)" if args.checkpoint_every else ""
+    print(
+        f"[timeout] {exc}{ck}",
+        file=sys.stderr,
+    )
+    return EXIT_TIMEOUT
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.util.errors import JobTimeout
+
     config = _config_from_args(args)
     plan = _load_fault_plan(args.fault_plan)
     every, ck_path = _checkpoint_args(args)
@@ -379,7 +463,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if plan is not None:
         sim.install_faults(plan)
     _maybe_enable_telemetry(sim, args)
-    result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
+    try:
+        result = sim.run(
+            args.iterations,
+            checkpoint_every=every,
+            checkpoint_path=ck_path,
+            walltime=_timeout_arg(args),
+        )
+    except JobTimeout as exc:
+        return _on_run_timeout(sim, args, exc)
     _save_telemetry(sim, args)
     sim.close()
     return _emit_result(
@@ -389,6 +481,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.pic.checkpoint import CheckpointError
+    from repro.util.errors import JobTimeout
 
     if args.iterations < 0:
         raise SystemExit(f"--iterations must be >= 0, got {args.iterations}")
@@ -405,7 +498,15 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if plan is not None:
         sim.install_faults(plan)
     _maybe_enable_telemetry(sim, args)
-    result = sim.run(args.iterations, checkpoint_every=every, checkpoint_path=ck_path)
+    try:
+        result = sim.run(
+            args.iterations,
+            checkpoint_every=every,
+            checkpoint_path=ck_path,
+            walltime=_timeout_arg(args),
+        )
+    except JobTimeout as exc:
+        return _on_run_timeout(sim, args, exc)
     _save_telemetry(sim, args)
     sim.close()
     return _emit_result(
@@ -413,6 +514,76 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         result,
         f"resumed +{args.iterations} iterations (total {sim.iteration}), p={sim.config.p}",
     )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import Scheduler, load_jobs, render_report
+
+    try:
+        jobs = load_jobs(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"job file not found: {args.file}")
+    except ValueError as exc:
+        raise SystemExit(f"bad job file: {exc}")
+    if not jobs:
+        raise SystemExit(f"job file {args.file} contains no jobs")
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be > 0 seconds, got {args.timeout}")
+    if args.max_failures < 0:
+        raise SystemExit(f"--max-failures must be >= 0, got {args.max_failures}")
+    if args.checkpoint_every < 1:
+        raise SystemExit(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}")
+
+    def progress(text: str) -> None:
+        print(f"[submit] {text}", file=sys.stderr, flush=True)
+
+    scheduler = Scheduler(
+        workers=args.jobs,
+        cache=None if args.no_cache else args.cache,
+        workdir=args.workdir,
+        timeout=args.timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        retries=args.retries,
+        max_failures=args.max_failures,
+        checkpoint_every=args.checkpoint_every,
+        progress=progress,
+    )
+    report = scheduler.run(jobs)
+    if args.report:
+        from repro.util.atomic_io import atomic_write_json
+
+        path = atomic_write_json(args.report, report)
+        print(f"[report written to {path}]", file=sys.stderr)
+    if args.metrics:
+        path = scheduler.telemetry.save(args.metrics)
+        print(f"[metrics written to {path}]", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+    return 0 if report["ok"] else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import render_report
+
+    try:
+        report = json.loads(Path(args.report).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"batch report not found: {args.report}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"batch report {args.report} is not valid JSON: {exc}")
+    try:
+        print(render_report(report))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"bad batch report: {exc}")
+    return 0 if report.get("ok") else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -503,6 +674,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import cases_for_suite, run_suite
+    from repro.util.errors import JobTimeout
 
     cases = cases_for_suite(args.suite)
     if args.case:
@@ -521,9 +693,26 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     def progress(name: str) -> None:
         print(f"[bench] {name} ...", file=sys.stderr, flush=True)
 
-    suite = run_suite(
-        args.suite, cases, repeats=args.repeats, warmup=args.warmup, progress=progress
-    )
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be > 0 seconds, got {args.timeout}")
+    try:
+        suite = run_suite(
+            args.suite,
+            cases,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            progress=progress,
+            walltime=args.timeout,
+        )
+    except JobTimeout as exc:
+        output = args.output or f"BENCH_{args.suite}.json"
+        path = exc.partial.save(output)
+        print(
+            f"[timeout] {exc}; skipped case(s): {', '.join(exc.remaining)}",
+            file=sys.stderr,
+        )
+        print(f"[partial trajectory written to {path}]", file=sys.stderr)
+        return EXIT_TIMEOUT
     output = args.output or f"BENCH_{args.suite}.json"
     path = suite.save(output)
     if args.json:
@@ -656,6 +845,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "scenarios":

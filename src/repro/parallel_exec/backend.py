@@ -70,28 +70,38 @@ def resolve_workers(spec) -> int:
     return n
 
 
-def create_backend(workers, grid, arena_tag: str = "flat"):
+def create_backend(workers, grid, arena_tag: str = "flat", reason_sink=None):
     """Build a :class:`FlatBackend`, or ``None`` with one warning.
 
     ``None`` (in-process execution) is returned when ``workers`` resolves
     to 0 or 1, when the platform lacks ``fork`` or usable
     ``multiprocessing.shared_memory``, or when worker startup fails —
     never an exception, and never a silent change of results.
+
+    ``reason_sink`` (optional ``callable(str)``) receives the fallback
+    reason on *every* degraded construction — unlike the
+    ``RuntimeWarning``, which fires once per process per reason — so
+    callers (``Simulation``) can surface the degradation in results and
+    telemetry instead of relying on a transient warning.
     """
+
+    def fallback(reason: str):
+        if reason_sink is not None:
+            reason_sink(reason)
+        _warn_once(reason)
+        return None
+
     n = resolve_workers(workers)
     if n <= 1:
         return None
     if "fork" not in multiprocessing.get_all_start_methods():
-        _warn_once("no fork start method on this platform")
-        return None
+        return fallback("no fork start method on this platform")
     if not shared_memory_available():
-        _warn_once("multiprocessing.shared_memory is not usable")
-        return None
+        return fallback("multiprocessing.shared_memory is not usable")
     try:
         return FlatBackend(n, grid, arena_tag=arena_tag)
     except Exception as exc:  # pragma: no cover - startup race/oddity
-        _warn_once(f"worker startup failed: {exc}")
-        return None
+        return fallback(f"worker startup failed: {exc}")
 
 
 def _shutdown(workers: WorkerPool, arena: SharedArena) -> None:

@@ -43,7 +43,6 @@ needs the full v2 payload.
 from __future__ import annotations
 
 import json
-import os
 import warnings
 import zipfile
 from pathlib import Path
@@ -54,6 +53,7 @@ from repro.mesh.fields import FieldState
 from repro.mesh.grid import Grid2D
 from repro.particles.arrays import ParticleArray
 from repro.util import require
+from repro.util.atomic_io import atomic_writer
 from repro.util.errors import CheckpointError
 
 __all__ = [
@@ -161,14 +161,8 @@ def save_checkpoint(
     if sort_keys is not None:
         for r, keys in enumerate(sort_keys):
             payload[f"rank{r}_sortkeys"] = np.asarray(keys)
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-    try:
-        with open(tmp, "wb") as fh:
-            np.savez_compressed(fh, **payload)
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():  # failed before the rename: don't leave litter
-            tmp.unlink()
+    with atomic_writer(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
     return path
 
 

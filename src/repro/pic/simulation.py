@@ -201,6 +201,7 @@ class SimulationResult:
     final_state: dict | None = None  #: physics summary (Simulation.final_state_summary)
     trace: PhaseTrace | None = None  #: per-iteration phase profile (always recorded)
     telemetry: dict | None = None  #: final metric aggregates (None = telemetry off)
+    degraded: dict | None = None  #: multicore-fallback marker (None = no fallback)
 
     @property
     def overhead(self) -> float:
@@ -259,14 +260,17 @@ class SimulationResult:
         }
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry
+        if self.degraded is not None:
+            # only present on fallback runs, so untouched configurations
+            # keep byte-identical output (zero-cost contract)
+            out["degraded"] = self.degraded
         return out
 
     def save_json(self, path) -> None:
-        """Write :meth:`to_dict` to ``path`` as JSON."""
-        import json
-        from pathlib import Path
+        """Atomically write :meth:`to_dict` to ``path`` as JSON."""
+        from repro.util.atomic_io import atomic_write_json
 
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        atomic_write_json(path, self.to_dict())
 
 
 class Simulation:
@@ -313,16 +317,40 @@ class Simulation:
         #: multicore execution backend (None = in-process kernels); owned
         #: by the Simulation and shared across rank-failure recoveries
         self.backend = None
+        #: degraded-mode marker: ``None`` for a true run of the requested
+        #: configuration; a ``{"requested_workers", "reason"}`` dict when
+        #: a multicore request silently fell back to in-process execution
+        #: (results identical, wall-clock not) — surfaced in
+        #: ``SimulationResult.to_dict()`` and the telemetry header so
+        #: batch reports can tell real multicore runs from fallbacks.
+        self.degraded: dict | None = None
         from repro.parallel_exec import resolve_workers
 
-        if resolve_workers(workers) > 1:
+        requested = resolve_workers(workers)
+        if requested > 1:
             if config.engine == "flat" and config.kernel == "era":
                 from repro.parallel_exec import create_backend
 
-                self.backend = create_backend(workers, self.grid)
+                reasons: list[str] = []
+                self.backend = create_backend(
+                    workers, self.grid, reason_sink=reasons.append
+                )
+                if self.backend is None:
+                    self.degraded = {
+                        "requested_workers": requested,
+                        "reason": reasons[0] if reasons else "backend unavailable",
+                    }
             else:
                 import warnings
 
+                self.degraded = {
+                    "requested_workers": requested,
+                    "reason": (
+                        f"the multicore backend applies only to engine='flat' "
+                        f"with kernel='era' (got engine={config.engine!r}, "
+                        f"kernel={config.kernel!r})"
+                    ),
+                }
                 warnings.warn(
                     f"workers={workers!r} ignored: the multicore backend "
                     f"applies only to engine='flat' with kernel='era' "
@@ -439,7 +467,9 @@ class Simulation:
             from repro.telemetry import RunTelemetry
 
             self.telemetry = RunTelemetry(
-                self.config.p, config=config_to_dict(self.config)
+                self.config.p,
+                config=config_to_dict(self.config),
+                degraded=self.degraded,
             )
             self._wire_telemetry()
         return self.telemetry
@@ -513,6 +543,7 @@ class Simulation:
         *,
         checkpoint_every: int | None = None,
         checkpoint_path: str | Path | None = None,
+        walltime: float | None = None,
     ) -> SimulationResult:
         """Run ``niters`` further iterations under the configured policy.
 
@@ -532,6 +563,15 @@ class Simulation:
         restores state, and the loop replays/continues until the target
         iteration is reached — the recovery overhead stays on the virtual
         clock.
+
+        ``walltime`` (host seconds, default off) is the wall-clock
+        watchdog: when the budget is exhausted the run stops after the
+        *current* iteration completes, a final checkpoint is written
+        (when checkpointing is configured), a structured ``timeout``
+        event lands in the telemetry stream, and
+        :class:`~repro.util.errors.JobTimeout` is raised carrying the
+        last completed iteration — so a supervisor (or ``repro resume``)
+        can pick the run back up from the checkpoint.
         """
         require(niters >= 0, "niters must be >= 0")
         if checkpoint_every is not None:
@@ -540,6 +580,11 @@ class Simulation:
                 checkpoint_path is not None,
                 "checkpoint_every requires checkpoint_path",
             )
+        if walltime is not None:
+            require(walltime > 0, "walltime must be > 0 seconds")
+        import time as _time
+
+        t_wall0 = _time.monotonic()
         target = self.iteration + niters
         while self.iteration < target:
             vm = self.vm  # rebound after a recovery (the machine shrinks)
@@ -612,7 +657,37 @@ class Simulation:
                     self.checkpoint(checkpoint_path)
             except RankFailure as failure:
                 self._recover(failure)
+            if walltime is not None and self.iteration < target:
+                elapsed = _time.monotonic() - t_wall0
+                if elapsed >= walltime:
+                    self._on_walltime_expired(
+                        walltime, elapsed, checkpoint_path, checkpoint_every
+                    )
         return self.result()
+
+    def _on_walltime_expired(
+        self,
+        walltime: float,
+        elapsed: float,
+        checkpoint_path: str | Path | None,
+        checkpoint_every: int | None,
+    ) -> None:
+        """Stop a watchdogged run: final checkpoint, telemetry event, raise."""
+        from repro.util.errors import JobTimeout
+
+        if checkpoint_every is not None and checkpoint_path is not None:
+            # a resume from here replays nothing: the checkpoint is at
+            # the exact iteration the timeout interrupted
+            self.checkpoint(checkpoint_path)
+        if self.telemetry is not None:
+            self.telemetry.record_event(
+                "timeout",
+                t=self.vm.elapsed(),
+                iteration=self.iteration,
+                walltime=float(walltime),
+                elapsed=float(elapsed),
+            )
+        raise JobTimeout("run", walltime, elapsed, iteration=self.iteration)
 
     # ------------------------------------------------------------------
     # rank-failure recovery
@@ -813,6 +888,7 @@ class Simulation:
             final_state=self.final_state_summary(),
             trace=self.trace,
             telemetry=self.telemetry.aggregates() if self.telemetry is not None else None,
+            degraded=self.degraded,
         )
 
     def final_state_summary(self) -> dict:

@@ -1,0 +1,46 @@
+"""Fault-tolerant multi-run job service (DESIGN.md §5.7).
+
+Submit a batch of simulation jobs, get every result back or a
+structured account of why not: a supervised :class:`Scheduler` runs
+jobs on worker processes with heartbeats, per-job deadlines, retry with
+exponential backoff, checkpoint-based resume of interrupted attempts,
+pool shrinking under repeated worker loss, a ``max_failures`` circuit
+breaker — and an integrity-checked, content-addressed
+:class:`ResultCache` that serves repeat submissions bit-identically
+without running anything.
+"""
+
+from repro.service.cache import CACHE_SCHEMA, ResultCache, payload_digest
+from repro.service.jobs import (
+    BATCH_SCHEMA,
+    JobRecord,
+    JobSpec,
+    JobState,
+    canonical_json,
+    job_key,
+)
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler, backoff_delay, render_report, run_batch
+from repro.service.sweep import expand_jobs, load_jobs
+from repro.service.telemetry import SERVICE_SCHEMA, ServiceTelemetry
+
+__all__ = [
+    "BATCH_SCHEMA",
+    "CACHE_SCHEMA",
+    "SERVICE_SCHEMA",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "ResultCache",
+    "Scheduler",
+    "ServiceTelemetry",
+    "backoff_delay",
+    "canonical_json",
+    "expand_jobs",
+    "job_key",
+    "load_jobs",
+    "payload_digest",
+    "render_report",
+    "run_batch",
+]

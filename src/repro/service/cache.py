@@ -1,0 +1,150 @@
+"""Content-addressed, integrity-checked result cache.
+
+Entries live at ``<root>/<key[:2]>/<key>.json`` — the key is the job's
+content hash (:func:`~repro.service.jobs.job_key`), so identical jobs
+across batches, machines, and time share one entry.  Each entry wraps
+its payload (a ``SimulationResult.to_dict()`` document) with a schema
+marker, its own key, and a sha256 over the payload's canonical JSON::
+
+    {"schema": "repro-cache/1", "key": "<hex>", "sha256": "<hex>",
+     "payload": {...}}
+
+Writes are atomic (:func:`~repro.util.atomic_io.atomic_write_json`), so
+a crash mid-write never leaves a readable-but-wrong file.  Reads verify
+everything — parseability, schema, key-vs-location, digest-vs-payload —
+and a failed check *quarantines* the entry (renamed to
+``<name>.quarantined.<n>`` beside the original) rather than deleting
+it, so corruption is debuggable after the fact; the read then reports a
+miss and the scheduler recomputes.  JSON float round-tripping is exact,
+so a cache hit is bit-identical to the fresh run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+from pathlib import Path
+
+from repro.service.jobs import canonical_json
+from repro.util.atomic_io import atomic_write_json
+from repro.util.errors import CacheCorruption
+
+__all__ = ["ResultCache", "CACHE_SCHEMA", "payload_digest"]
+
+#: Schema marker inside every cache entry.
+CACHE_SCHEMA = "repro-cache/1"
+
+
+def payload_digest(payload: dict) -> str:
+    """sha256 hex digest of a payload's canonical JSON."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """Filesystem result cache keyed by job content hash.
+
+    Attributes
+    ----------
+    hits / misses:
+        Counters over this instance's lifetime.
+    quarantined:
+        ``(path, reason)`` log of entries that failed verification.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.quarantined: list[tuple[str, str]] = []
+
+    def path_for(self, key: str) -> Path:
+        """Entry location for ``key`` (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically install ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "sha256": payload_digest(payload),
+            "payload": payload,
+        }
+        return atomic_write_json(path, entry)
+
+    def get(self, key: str) -> dict | None:
+        """Verified payload for ``key``, or ``None`` (miss / quarantined).
+
+        Every failure mode — unreadable JSON, wrong schema, key not
+        matching the location, digest not matching the payload — counts
+        as a miss after the offending file is quarantined, so a single
+        flipped bit costs one recompute, never a wrong result.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = self._verify(path, key)
+        except CacheCorruption as exc:
+            self._quarantine(path, exc.reason)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def _verify(self, path: Path, key: str) -> dict:
+        try:
+            entry = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CacheCorruption(str(path), f"unreadable JSON ({exc})")
+        if not isinstance(entry, dict):
+            raise CacheCorruption(str(path), "entry is not a JSON object")
+        if entry.get("schema") != CACHE_SCHEMA:
+            raise CacheCorruption(
+                str(path), f"schema {entry.get('schema')!r} != {CACHE_SCHEMA!r}"
+            )
+        if entry.get("key") != key:
+            raise CacheCorruption(
+                str(path), f"stored key {entry.get('key')!r} does not match location"
+            )
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            raise CacheCorruption(str(path), "payload is not a JSON object")
+        digest = payload_digest(payload)
+        if digest != entry.get("sha256"):
+            raise CacheCorruption(
+                str(path),
+                f"payload digest {digest[:12]}… does not match stored "
+                f"{str(entry.get('sha256'))[:12]}…",
+            )
+        return payload
+
+    def _quarantine(self, path: Path, reason: str) -> Path:
+        """Move a corrupt entry aside (never delete) and log it."""
+        n = 0
+        while True:
+            target = path.with_name(f"{path.name}.quarantined.{n}")
+            if not target.exists():
+                break
+            n += 1
+        path.replace(target)
+        self.quarantined.append((str(target), reason))
+        return target
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": len(self.quarantined),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, quarantined={len(self.quarantined)})"
+        )

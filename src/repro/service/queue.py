@@ -1,0 +1,58 @@
+"""Priority job queue with bounded depth (scheduler backpressure).
+
+Jobs pop in (priority desc, submission order) — a stable priority queue
+over :class:`~repro.service.jobs.JobRecord`.  ``maxsize`` bounds the
+*ready* set: the scheduler keeps everything beyond it in a backlog and
+refills as slots free, so a 10 000-job sweep never materializes 10 000
+heap entries of live supervision state at once.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.service.jobs import JobRecord
+from repro.util import require
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Bounded priority queue of :class:`JobRecord`.
+
+    ``push`` on a full queue raises ``IndexError`` (the scheduler checks
+    :attr:`full` first — hitting the guard is a programming error, not a
+    runtime condition).
+    """
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None:
+            require(maxsize >= 1, "queue maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._heap: list[tuple[int, int, JobRecord]] = []
+        self._seq = 0  #: tie-breaker preserving submission order
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return self.maxsize is not None and len(self._heap) >= self.maxsize
+
+    def push(self, record: JobRecord) -> None:
+        if self.full:
+            raise IndexError(
+                f"queue is full (maxsize={self.maxsize}); check .full before push"
+            )
+        heapq.heappush(self._heap, (-record.spec.priority, self._seq, record))
+        self._seq += 1
+
+    def pop(self) -> JobRecord:
+        """Highest-priority (then oldest) record; ``IndexError`` if empty."""
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> JobRecord:
+        return self._heap[0][2]

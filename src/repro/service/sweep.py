@@ -1,0 +1,112 @@
+"""Job-file parsing: explicit job lists and sweep grammar expansion.
+
+``repro submit FILE.json`` accepts three shapes:
+
+* a bare JSON **list** of job dicts (``config`` + ``iterations`` each);
+* ``{"jobs": [...]}`` — same list, with room for sibling keys;
+* a **sweep**: ``{"base": {<config fields>}, "iterations": N,
+  "sweep": {"seed": [0, 1, 2], "p": [4, 8]}}`` — the cartesian product
+  of the swept axes applied over the base config.  Axis order in the
+  file is the nesting order (last axis varies fastest), and each
+  expanded job is named ``<name>-seed=0-p=4`` so reports stay legible.
+
+Swept keys address ``SimulationConfig`` fields; ``iterations`` may also
+be swept (it is a job field, not a config field).  Jobs and sweeps can
+carry ``fault_plan`` / ``chaos`` / ``priority`` blocks that apply to
+every expanded job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+
+from repro.service.jobs import JobSpec
+
+__all__ = ["load_jobs", "expand_jobs"]
+
+
+def load_jobs(path: str | Path) -> list[JobSpec]:
+    """Parse a job file into specs; raises ``ValueError`` on bad shape."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"job file {path} is not valid JSON: {exc}") from exc
+    return expand_jobs(data)
+
+
+def expand_jobs(data) -> list[JobSpec]:
+    """Expand a parsed job document (list, ``jobs``, or sweep) to specs."""
+    if isinstance(data, list):
+        return [_one_job(item, i) for i, item in enumerate(data)]
+    if not isinstance(data, dict):
+        raise ValueError("a job file must be a JSON list or object")
+    if "jobs" in data:
+        jobs = data["jobs"]
+        if not isinstance(jobs, list):
+            raise ValueError("'jobs' must be a list")
+        return [_one_job(item, i) for i, item in enumerate(jobs)]
+    if "sweep" in data:
+        return _expand_sweep(data)
+    raise ValueError(
+        "job file needs a top-level list, a 'jobs' list, or a 'base'+'sweep' pair"
+    )
+
+
+def _one_job(item, index: int) -> JobSpec:
+    if not isinstance(item, dict):
+        raise ValueError(f"job #{index} is not a JSON object")
+    try:
+        return JobSpec.from_dict(item)
+    except (ValueError, TypeError) as exc:
+        raise ValueError(f"job #{index}: {exc}") from exc
+
+
+def _expand_sweep(data: dict) -> list[JobSpec]:
+    known = {"base", "sweep", "iterations", "name", "priority", "fault_plan", "chaos"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
+    base = data.get("base", {})
+    if not isinstance(base, dict):
+        raise ValueError("'base' must be a config object")
+    sweep = data["sweep"]
+    if not isinstance(sweep, dict) or not sweep:
+        raise ValueError("'sweep' must be a non-empty object of axis: [values]")
+    for axis, values in sweep.items():
+        if not isinstance(values, list) or not values:
+            raise ValueError(f"sweep axis {axis!r} must be a non-empty list")
+    stem = str(data.get("name", "sweep"))
+    axes = list(sweep.items())
+    jobs: list[JobSpec] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        config = dict(base)
+        iterations = data.get("iterations")
+        for (axis, _), value in zip(axes, combo):
+            if axis == "iterations":
+                iterations = value
+            else:
+                config[axis] = value
+        if iterations is None:
+            raise ValueError(
+                "sweep needs 'iterations' (top-level or as a swept axis)"
+            )
+        suffix = "-".join(
+            f"{axis}={value}" for (axis, _), value in zip(axes, combo)
+        )
+        try:
+            jobs.append(
+                JobSpec(
+                    config=config,
+                    iterations=int(iterations),
+                    name=f"{stem}-{suffix}",
+                    priority=int(data.get("priority", 0)),
+                    fault_plan=data.get("fault_plan"),
+                    chaos=data.get("chaos"),
+                )
+            )
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"sweep point {suffix}: {exc}") from exc
+    return jobs

@@ -1,0 +1,138 @@
+"""Batch-level telemetry for the job service.
+
+Mirrors the run-level :mod:`repro.telemetry` shape one level up: a
+:class:`ServiceTelemetry` collects an ordered stream of scheduler
+events (launches, heartbeats lost, retries, worker deaths, cache hits
+and quarantines, pool shrinks, circuit-breaker trips) plus a
+:class:`~repro.telemetry.metrics.MetricsRegistry` of batch-wide
+counters and the queue-depth gauge, and writes them as JSONL — schema
+``repro-service/1``: a ``header`` line, ``event`` lines in occurrence
+order (each stamped with wall seconds since batch start and the queue
+depth at that moment), and a closing ``summary`` with the registry
+snapshot.
+
+Unlike run telemetry there is no zero-cost clause to honour — the
+scheduler lives entirely off the virtual clocks — so the stream is
+always recorded and saving it is opt-in (``repro submit --metrics``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["ServiceTelemetry", "SERVICE_SCHEMA"]
+
+#: Schema marker on the first line of every service metrics stream.
+SERVICE_SCHEMA = "repro-service/1"
+
+
+class ServiceTelemetry:
+    """Event stream + metrics registry for one scheduler batch."""
+
+    def __init__(self, *, jobs: int, workers: int, params: dict | None = None) -> None:
+        self.jobs = int(jobs)
+        self.workers = int(workers)
+        self.params = dict(params or {})
+        self.registry = MetricsRegistry()
+        self.records: list[dict] = []
+        self._t0 = time.monotonic()
+        self._queue_depth = 0
+
+    # ------------------------------------------------------------------
+    def set_queue_depth(self, depth: int) -> None:
+        """Update the queue-depth gauge (stamped onto subsequent events)."""
+        self._queue_depth = int(depth)
+        self.registry.gauge("queue.depth").set(depth)
+
+    def event(self, kind: str, **fields) -> dict:
+        """Record one scheduler event; returns the stored record."""
+        record = {
+            "type": "event",
+            "kind": kind,
+            "t": round(time.monotonic() - self._t0, 6),
+            "queue_depth": self._queue_depth,
+            **fields,
+        }
+        self.records.append(record)
+        return record
+
+    # convenience wrappers keeping counter names in one place ------------
+    def on_launch(self, job: str, attempt: int) -> None:
+        self.registry.counter("jobs.launched").inc()
+        self.event("job_launched", job=job, attempt=attempt)
+
+    def on_heartbeat(self, job: str, iteration: int) -> None:
+        self.registry.counter("heartbeats.received").inc()
+
+    def on_done(self, job: str, wall: float, cached: bool) -> None:
+        self.registry.counter("jobs.completed").inc()
+        if cached:
+            self.registry.counter("cache.hits").inc()
+        self.event("job_done", job=job, wall=round(wall, 6), cached=cached)
+
+    def on_retry(self, job: str, attempt: int, reason: str, delay: float) -> None:
+        self.registry.counter("jobs.retries").inc()
+        self.event(
+            "job_retry", job=job, attempt=attempt, reason=reason,
+            delay=round(delay, 6),
+        )
+
+    def on_failed(self, job: str, reason: str) -> None:
+        self.registry.counter("jobs.failed").inc()
+        self.event("job_failed", job=job, reason=reason)
+
+    def on_timeout(self, job: str, limit: float, elapsed: float) -> None:
+        self.registry.counter("jobs.timeouts").inc()
+        self.event(
+            "job_timeout", job=job, limit=limit, elapsed=round(elapsed, 6)
+        )
+
+    def on_heartbeat_lost(self, job: str, silent_for: float) -> None:
+        self.registry.counter("heartbeats.lost").inc()
+        self.event("heartbeat_lost", job=job, silent_for=round(silent_for, 6))
+
+    def on_worker_lost(self, job: str, exitcode: int | None) -> None:
+        self.registry.counter("workers.lost").inc()
+        self.event("worker_lost", job=job, exitcode=exitcode)
+
+    def on_pool_shrink(self, size: int, reason: str) -> None:
+        self.registry.counter("pool.shrinks").inc()
+        self.registry.gauge("pool.size").set(size)
+        self.event("pool_shrink", size=size, reason=reason)
+
+    def on_cache_miss(self, job: str) -> None:
+        self.registry.counter("cache.misses").inc()
+
+    def on_quarantine(self, path: str, reason: str) -> None:
+        self.registry.counter("cache.quarantined").inc()
+        self.event("cache_quarantine", path=path, reason=reason)
+
+    def on_circuit_open(self, failures: int, cancelled: int) -> None:
+        self.event("circuit_open", failures=failures, cancelled=cancelled)
+
+    # ------------------------------------------------------------------
+    def header(self) -> dict:
+        return {
+            "type": "header",
+            "schema": SERVICE_SCHEMA,
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "params": self.params,
+        }
+
+    def summary_record(self) -> dict:
+        return {"type": "summary", "aggregates": self.registry.snapshot()}
+
+    def metrics_lines(self) -> list[str]:
+        stream = [self.header(), *self.records, self.summary_record()]
+        return [json.dumps(rec) for rec in stream]
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the JSONL stream to ``path``."""
+        from repro.util.atomic_io import atomic_write_text
+
+        return atomic_write_text(Path(path), "\n".join(self.metrics_lines()) + "\n")

@@ -1,0 +1,130 @@
+"""Worker-process side of the job service.
+
+:func:`worker_main` is the target of each supervised process the
+scheduler forks: it builds (or resumes) the simulation, runs it one
+iteration at a time, and speaks a small message protocol back over its
+pipe::
+
+    ("started",   {"pid": ..., "iteration": k})   # k > 0 on a resume
+    ("heartbeat", {"iteration": k})               # after every iteration
+    ("done",      {"payload": result.to_dict()})
+    ("failed",    {"error": <picklable ReproError>})
+
+Progress is checkpointed to ``<workdir>/<key>.ck.npz`` every
+``checkpoint_every`` iterations, so when the supervisor kills a hung
+worker (or the worker crashes) the retry resumes from the last
+checkpoint via the exact-resume contract — the completed job's result
+is bit-identical to an uninterrupted run.
+
+A job's ``chaos`` block sabotages the worker itself (the chaos suite's
+fault injection at the *process* level, next to
+:mod:`repro.machine.faults` at the *virtual machine* level):
+``{"kind": "crash", "at_iteration": k, "attempts": [0]}`` SIGKILLs the
+process before iteration ``k`` on the listed attempts; ``"hang"`` stops
+heartbeating and sleeps until the supervisor's heartbeat timeout kills
+it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.machine.faults import FaultPlan
+from repro.pic.simulation import Simulation, config_from_dict
+from repro.service.jobs import JobSpec
+from repro.util.errors import JobError, ReproError
+
+__all__ = ["worker_main", "scratch_checkpoint"]
+
+#: Sleep horizon of a "hang" sabotage — far beyond any heartbeat budget.
+_HANG_SECONDS = 3600.0
+
+
+def scratch_checkpoint(workdir: str | Path, key: str) -> Path:
+    """Location of a job's in-progress checkpoint in the batch workdir."""
+    return Path(workdir) / f"{key}.ck.npz"
+
+
+def _remaining_plan(plan_dict: dict | None, resume_iteration: int) -> FaultPlan | None:
+    """The fault plan a resumed attempt should reinstall.
+
+    Events strictly before the checkpoint iteration already fired and
+    were folded into the checkpointed history (a recovered machine
+    checkpoints in its shrunk form), so replaying them would double the
+    fault.  Events at or after the resume point have not happened in the
+    resumed timeline and fire normally.
+    """
+    if plan_dict is None:
+        return None
+    plan = FaultPlan.from_dict(plan_dict)
+    if resume_iteration <= 0:
+        return plan
+    events = tuple(
+        e
+        for e in plan.events
+        if e.iteration is None or e.iteration >= resume_iteration
+    )
+    return FaultPlan(
+        events=events,
+        retry_timeout=plan.retry_timeout,
+        detect_timeout=plan.detect_timeout,
+        max_retries=plan.max_retries,
+    )
+
+
+def _maybe_sabotage(chaos: dict | None, iteration: int, attempt: int) -> None:
+    """Apply the job's chaos block at its trigger point (tests only)."""
+    if not chaos:
+        return
+    if attempt not in chaos.get("attempts", [0]):
+        return
+    if iteration != int(chaos.get("at_iteration", 0)):
+        return
+    if chaos["kind"] == "crash":
+        # a real kill -9: no atexit, no cleanup, the pipe just goes EOF
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif chaos["kind"] == "hang":
+        time.sleep(_HANG_SECONDS)
+
+
+def worker_main(
+    conn,
+    spec_dict: dict,
+    workdir: str,
+    checkpoint_every: int,
+    attempt: int,
+) -> None:
+    """Run one job attempt; every exit path sends a message (or dies loudly)."""
+    spec = JobSpec.from_dict(spec_dict)
+    label = spec.name
+    ck = scratch_checkpoint(workdir, spec.key)
+    try:
+        if ck.exists():
+            sim = Simulation.from_checkpoint(ck)
+            plan = _remaining_plan(spec.fault_plan, sim.iteration)
+        else:
+            sim = Simulation(config_from_dict(spec.config))
+            plan = FaultPlan.from_dict(spec.fault_plan) if spec.fault_plan else None
+        if plan is not None:
+            sim.install_faults(plan)
+        conn.send(("started", {"pid": os.getpid(), "iteration": sim.iteration}))
+        while sim.iteration < spec.iterations:
+            _maybe_sabotage(spec.chaos, sim.iteration, attempt)
+            sim.run(
+                1, checkpoint_every=checkpoint_every, checkpoint_path=ck
+            )
+            conn.send(("heartbeat", {"iteration": sim.iteration}))
+        result = sim.result()
+        sim.close()
+        conn.send(("done", {"payload": result.to_dict()}))
+    except ReproError as exc:
+        conn.send(("failed", {"error": exc}))
+    except Exception as exc:  # noqa: BLE001 - ship *everything* to the supervisor
+        conn.send(
+            ("failed", {"error": JobError(label, f"{type(exc).__name__}: {exc}", attempt)})
+        )
+    finally:
+        conn.close()

@@ -71,15 +71,22 @@ class RunTelemetry:
     config:
         JSON-serializable run configuration embedded in the metrics
         header (``config_to_dict`` output); optional.
+    degraded:
+        Multicore-fallback marker (``Simulation.degraded``); embedded in
+        the header when not ``None`` so stream readers can distinguish a
+        true multicore run from a silent in-process fallback.
     """
 
-    def __init__(self, p: int, *, config: dict | None = None) -> None:
+    def __init__(
+        self, p: int, *, config: dict | None = None, degraded: dict | None = None
+    ) -> None:
         #: live rank count (lowered by :meth:`on_shrink`)
         self.p = int(p)
         #: rank count at enable time — the metrics header pins this one,
         #: and shrink events walk readers to the live count from there
         self.initial_p = int(p)
         self.config = config
+        self.degraded = degraded
         self.tracer = SpanTracer()
         self.tracer.note_ranks(p)
         self.registry = MetricsRegistry()
@@ -254,6 +261,8 @@ class RunTelemetry:
         rec = {"type": "header", "schema": METRICS_SCHEMA, "p": self.initial_p}
         if self.config is not None:
             rec["config"] = self.config
+        if self.degraded is not None:
+            rec["degraded"] = self.degraded
         return rec
 
     def summary_record(self) -> dict:
@@ -270,10 +279,15 @@ class RunTelemetry:
         return [json.dumps(rec) for rec in stream]
 
     def save_metrics(self, path: str | Path) -> Path:
-        """Write the metrics JSONL stream to ``path`` and return it."""
-        path = Path(path)
-        path.write_text("\n".join(self.metrics_lines()) + "\n")
-        return path
+        """Atomically write the metrics JSONL stream to ``path``.
+
+        The stream is finalized in one atomic install (temp file +
+        ``os.replace``), so a reader never sees a half-written JSONL
+        file — the last line is always the ``summary`` record.
+        """
+        from repro.util.atomic_io import atomic_write_text
+
+        return atomic_write_text(Path(path), "\n".join(self.metrics_lines()) + "\n")
 
     def save_trace(self, path: str | Path) -> Path:
         """Write the Perfetto/Chrome trace JSON to ``path`` and return it."""

@@ -210,10 +210,10 @@ class SpanTracer:
         }
 
     def save(self, path: str | Path) -> Path:
-        """Write the Chrome-trace JSON to ``path`` and return it."""
-        path = Path(path)
-        path.write_text(json.dumps(self.to_chrome()) + "\n")
-        return path
+        """Atomically write the Chrome-trace JSON to ``path`` and return it."""
+        from repro.util.atomic_io import atomic_write_text
+
+        return atomic_write_text(Path(path), json.dumps(self.to_chrome()) + "\n")
 
     def __repr__(self) -> str:
         return (

@@ -13,10 +13,19 @@ These helpers keep the rest of the library free of boilerplate:
 from repro.util.rng import as_rng
 from repro.util.validation import require, require_positive, require_type
 from repro.util.opcount import OpCounter
+from repro.util.atomic_io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
 from repro.util.errors import (
+    CacheCorruption,
     CheckpointError,
     FaultError,
     InvalidRankError,
+    JobError,
+    JobTimeout,
     MessageLost,
     RankFailure,
     ReproError,
@@ -29,6 +38,10 @@ __all__ = [
     "require_positive",
     "require_type",
     "OpCounter",
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
     "ReproError",
     "FaultError",
     "RankFailure",
@@ -36,4 +49,7 @@ __all__ = [
     "SimulationIntegrityError",
     "CheckpointError",
     "InvalidRankError",
+    "JobError",
+    "JobTimeout",
+    "CacheCorruption",
 ]

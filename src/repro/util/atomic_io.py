@@ -1,0 +1,71 @@
+"""Crash-safe file writes: temp file + :func:`os.replace`, everywhere.
+
+Every artifact this library persists — checkpoints, bench trajectories,
+metrics JSONL streams, trace exports, saved results, cache entries — is
+written through these helpers so a killed process can never leave a
+truncated file under the target name: the payload lands in a temporary
+file in the *same directory* (same filesystem, so the rename is atomic)
+and is installed with :func:`os.replace`.  A crash mid-write leaves
+either the previous file or a stray ``.tmp`` sibling, never a partial
+artifact that a reader would accept.
+
+The checkpoint writer (:mod:`repro.pic.checkpoint`) pioneered the
+pattern; this module is the single shared implementation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+__all__ = [
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+]
+
+
+@contextlib.contextmanager
+def atomic_writer(path: str | Path, mode: str = "wb") -> Iterator[IO]:
+    """Context manager yielding a temp-file handle atomically installed at ``path``.
+
+    The temporary file lives next to ``path`` (``.<name>.tmp.<pid>``) so
+    the final :func:`os.replace` is a same-filesystem rename.  On a
+    clean exit the file is flushed, fsynced, and renamed into place; on
+    an exception the temp file is removed and ``path`` is untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # failed before the rename: don't leave litter
+            tmp.unlink()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically write ``data`` to ``path``; returns the path."""
+    path = Path(path)
+    with atomic_writer(path, "wb") as fh:
+        fh.write(data)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically write ``text`` (UTF-8) to ``path``; returns the path."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, obj: Any, *, indent: int | None = 2,
+                      sort_keys: bool = False) -> Path:
+    """Atomically serialize ``obj`` as JSON to ``path``; returns the path."""
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)

@@ -1,0 +1,72 @@
+"""Tests for the shared atomic-write helpers (repro.util.atomic_io)."""
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomic_io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
+
+
+class TestAtomicWriter:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_writer(path, "wb") as fh:
+            fh.write(b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_overwrites_in_place(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_writer(path, "w") as fh:
+            fh.write("new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_residue_on_success(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_writer(path, "w") as fh:
+            fh.write("x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_leaves_original_and_no_residue(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path, "w") as fh:
+                fh.write("partial")
+                raise RuntimeError("mid-write crash")
+        assert path.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_with_no_preexisting_file(self, tmp_path):
+        path = tmp_path / "fresh.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path, "w") as fh:
+                fh.write("partial")
+                raise RuntimeError("boom")
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []
+
+
+class TestConvenienceWrappers:
+    def test_bytes(self, tmp_path):
+        p = atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        assert p.read_bytes() == b"\x00\x01"
+
+    def test_text(self, tmp_path):
+        p = atomic_write_text(tmp_path / "t.txt", "héllo\n")
+        assert p.read_text() == "héllo\n"
+
+    def test_json_roundtrip(self, tmp_path):
+        doc = {"b": [1, 2.5, None], "a": {"nested": True}}
+        p = atomic_write_json(tmp_path / "d.json", doc)
+        assert json.loads(p.read_text()) == doc
+
+    def test_json_sort_keys(self, tmp_path):
+        p = atomic_write_json(tmp_path / "d.json", {"b": 1, "a": 2}, sort_keys=True)
+        assert p.read_text().index('"a"') < p.read_text().index('"b"')

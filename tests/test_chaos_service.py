@@ -1,0 +1,214 @@
+"""Chaos suite for the job service — the acceptance scenario.
+
+A 12-job sweep runs under the supervised scheduler with injected
+process-level faults (SIGKILLed workers, one hung worker), one
+virtual-machine fault plan (rank kill recovered in-run), and one
+corrupted cache entry.  The batch must complete with every job's
+``final_state_summary`` matching a fault-free single-process run at
+atol=1e-12 (bit-identical for jobs without VM faults), the report must
+account for every retry / timeout / quarantine, and a second identical
+submission must be served entirely from cache — bit-identical, in
+under 1% of the cold wall time.
+"""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.pic.simulation import Simulation, config_from_dict
+from repro.service import JobSpec, ResultCache, Scheduler
+from repro.service.worker import scratch_checkpoint
+
+BASE = dict(nx=16, ny=8, nparticles=256, p=4)
+ITERATIONS = 6
+
+
+def _sweep_jobs():
+    """The 12-job chaos sweep: 8 clean, 2 crash, 1 hang, 1 VM fault."""
+    jobs = []
+    for seed in range(8):
+        jobs.append(
+            JobSpec(
+                config=dict(BASE, seed=seed),
+                iterations=ITERATIONS,
+                name=f"clean{seed}",
+            )
+        )
+    for seed, at in ((8, 3), (9, 4)):
+        jobs.append(
+            JobSpec(
+                config=dict(BASE, seed=seed),
+                iterations=ITERATIONS,
+                name=f"crash{seed}",
+                chaos={"kind": "crash", "at_iteration": at, "attempts": [0]},
+            )
+        )
+    jobs.append(
+        JobSpec(
+            config=dict(BASE, seed=10),
+            iterations=ITERATIONS,
+            name="hang10",
+            chaos={"kind": "hang", "at_iteration": 2, "attempts": [0]},
+        )
+    )
+    # a VM-level rank kill, recovered in-run from the worker's scratch
+    # checkpoint (checkpoint_every=2 guarantees one exists before it)
+    jobs.append(
+        JobSpec(
+            config=dict(BASE, seed=11),
+            iterations=ITERATIONS,
+            name="vmfault11",
+            fault_plan={
+                "detect_timeout": 0.5,
+                "events": [{"kind": "kill", "rank": 1, "iteration": 3}],
+            },
+        )
+    )
+    assert len(jobs) == 12
+    return jobs
+
+
+def _reference_final_state(spec: JobSpec) -> dict:
+    """Fault-free single-process run of the job's config."""
+    sim = Simulation(config_from_dict(spec.config))
+    return sim.run(spec.iterations).to_dict()["final_state"]
+
+
+@pytest.fixture(scope="module")
+def chaos_batch(tmp_path_factory):
+    """Run the cold chaos batch once; several tests assert against it."""
+    root = tmp_path_factory.mktemp("chaos")
+    jobs = _sweep_jobs()
+    scheduler = Scheduler(
+        workers=3,
+        cache=root / "cache",
+        workdir=root / "work",
+        retries=2,
+        heartbeat_timeout=2.0,
+        checkpoint_every=2,
+    )
+    t0 = time.monotonic()
+    report = scheduler.run(jobs)
+    cold_wall = time.monotonic() - t0
+    return {
+        "root": root,
+        "jobs": jobs,
+        "scheduler": scheduler,
+        "report": report,
+        "cold_wall": cold_wall,
+    }
+
+
+class TestChaosBatch:
+    def test_every_job_completes(self, chaos_batch):
+        report = chaos_batch["report"]
+        assert report["ok"], report["counters"]
+        assert report["counters"]["completed"] == 12
+        assert report["counters"]["failed"] == 0
+
+    def test_final_states_match_fault_free_runs(self, chaos_batch):
+        by_name = {r["name"]: r for r in chaos_batch["report"]["jobs"]}
+        for spec in chaos_batch["jobs"]:
+            ref = _reference_final_state(spec)
+            got = by_name[spec.name]["final_state"]
+            if spec.fault_plan is None:
+                # exact-resume contract: chaos never perturbs the bits
+                assert json.dumps(got, sort_keys=True) == json.dumps(
+                    ref, sort_keys=True
+                ), spec.name
+            else:
+                # VM-fault recovery contract (DESIGN.md §5.3): the
+                # recovered run matches fault-free at atol=1e-12
+                for key, want in ref.items():
+                    if isinstance(want, float):
+                        assert math.isclose(
+                            got[key], want, rel_tol=0.0, abs_tol=1e-12
+                        ), (spec.name, key)
+                    else:
+                        assert got[key] == want, (spec.name, key)
+
+    def test_faults_are_visible_in_the_report(self, chaos_batch):
+        report = chaos_batch["report"]
+        counters = report["counters"]
+        assert counters["worker_losses"] >= 2  # the two SIGKILLs
+        assert counters["heartbeats_lost"] >= 1  # the hang
+        assert counters["retries"] >= 3
+        by_name = {r["name"]: r for r in report["jobs"]}
+        for name in ("crash8", "crash9"):
+            job = by_name[name]
+            assert job["attempts"] >= 2
+            assert any("worker died" in r["reason"] for r in job["retries"])
+            assert job["resumed_from"] is not None and job["resumed_from"] >= 2
+        hang = by_name["hang10"]
+        assert any("no heartbeat" in r["reason"] for r in hang["retries"])
+        # the VM-fault job recovered *inside* the run, not via scheduler retry
+        vm = by_name["vmfault11"]
+        assert vm["attempts"] == 1
+        assert vm["totals"]["n_recoveries"] == 1
+
+    def test_telemetry_accounts_for_the_chaos(self, chaos_batch):
+        records = chaos_batch["scheduler"].telemetry.records
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("worker_lost") >= 2
+        assert "heartbeat_lost" in kinds
+        assert kinds.count("job_retry") >= 3
+        assert kinds.count("job_done") == 12
+
+    def test_scratch_checkpoints_cleaned_up(self, chaos_batch):
+        workdir = chaos_batch["root"] / "work"
+        for spec in chaos_batch["jobs"]:
+            assert not scratch_checkpoint(workdir, spec.key).exists()
+
+
+class TestWarmResubmission:
+    def test_served_from_cache_bit_identical_and_fast(self, chaos_batch):
+        root = chaos_batch["root"]
+        jobs = chaos_batch["jobs"]
+        t0 = time.monotonic()
+        warm = Scheduler(
+            workers=3, cache=root / "cache", workdir=root / "work"
+        ).run(jobs)
+        warm_wall = time.monotonic() - t0
+        assert warm["ok"]
+        assert warm["counters"]["cache_hits"] == 12
+        cold_by_name = {r["name"]: r for r in chaos_batch["report"]["jobs"]}
+        for job in warm["jobs"]:
+            assert job["cached"], job["name"]
+            cold = cold_by_name[job["name"]]
+            assert json.dumps(job["final_state"], sort_keys=True) == json.dumps(
+                cold["final_state"], sort_keys=True
+            ), job["name"]
+            assert json.dumps(job["totals"], sort_keys=True) == json.dumps(
+                cold["totals"], sort_keys=True
+            ), job["name"]
+        # the headline number: a warm batch costs < 1% of the cold one
+        assert warm_wall < 0.01 * chaos_batch["cold_wall"], (
+            f"warm {warm_wall:.3f}s vs cold {chaos_batch['cold_wall']:.3f}s"
+        )
+
+    def test_corrupted_entry_quarantined_then_recomputed(self, chaos_batch):
+        root = chaos_batch["root"]
+        jobs = chaos_batch["jobs"]
+        cache = ResultCache(root / "cache")
+        victim = jobs[0]
+        path = cache.path_for(victim.key)
+        text = path.read_text()
+        # flip a digit inside the payload: digest check must catch it
+        path.write_text(text.replace('"total_time":', '"total_time": 1e9 + ', 1))
+        report = Scheduler(
+            workers=2, cache=root / "cache", workdir=root / "work"
+        ).run(jobs)
+        assert report["ok"]
+        assert report["counters"]["quarantined"] == 1
+        assert report["counters"]["cache_hits"] == 11
+        recomputed = next(r for r in report["jobs"] if r["name"] == victim.name)
+        assert not recomputed["cached"]
+        assert json.dumps(recomputed["final_state"], sort_keys=True) == json.dumps(
+            _reference_final_state(victim), sort_keys=True
+        )
+        # quarantined copy kept beside the cache entry for debugging
+        assert list(path.parent.glob("*.quarantined.*"))
+        # and the recomputed entry is valid again
+        assert cache.get(victim.key) is not None

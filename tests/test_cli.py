@@ -236,3 +236,117 @@ class TestResume:
         from repro.pic.checkpoint import load_checkpoint
 
         assert load_checkpoint(ck).iteration == 4
+
+
+class TestSubmitAndJobs:
+    def _jobs_file(self, tmp_path, n=2):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({
+            "name": "cli",
+            "base": {"nx": 16, "ny": 8, "nparticles": 256, "p": 4},
+            "iterations": 3,
+            "sweep": {"seed": list(range(n))},
+        }))
+        return path
+
+    def test_submit_then_jobs(self, tmp_path, capsys):
+        jf = self._jobs_file(tmp_path)
+        report = tmp_path / "report.json"
+        code = main([
+            "submit", str(jf), "--jobs", "2",
+            "--cache", str(tmp_path / "cache"),
+            "--report", str(report),
+            "--metrics", str(tmp_path / "svc.jsonl"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch: OK" in out and "cli-seed=0" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro-batch/1" and doc["ok"]
+        assert doc["counters"]["completed"] == 2
+        lines = (tmp_path / "svc.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["schema"] == "repro-service/1"
+        # render the saved report
+        assert main(["jobs", str(report)]) == 0
+        assert "batch: OK" in capsys.readouterr().out
+
+    def test_submit_warm_cache_hits(self, tmp_path, capsys):
+        jf = self._jobs_file(tmp_path)
+        argv = ["submit", str(jf), "--cache", str(tmp_path / "cache"), "--json"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["cache_hits"] == 2
+
+    def test_submit_bad_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["submit", str(tmp_path / "nope.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text("[{\"iterations\": 3}]")
+        with pytest.raises(SystemExit, match="bad job file"):
+            main(["submit", str(bad)])
+
+    def test_submit_flag_validation(self, tmp_path):
+        jf = self._jobs_file(tmp_path)
+        for argv_extra, msg in (
+            (["--jobs", "0"], "--jobs"),
+            (["--retries", "-1"], "--retries"),
+            (["--timeout", "0"], "--timeout"),
+            (["--max-failures", "-2"], "--max-failures"),
+            (["--checkpoint-every", "0"], "--checkpoint-every"),
+        ):
+            with pytest.raises(SystemExit, match=msg):
+                main(["submit", str(jf)] + argv_extra)
+
+    def test_jobs_missing_and_invalid(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["jobs", str(tmp_path / "nope.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema\": \"other/1\"}")
+        with pytest.raises(SystemExit, match="bad batch report"):
+            main(["jobs", str(bad)])
+
+
+class TestTimeoutWatchdog:
+    def test_run_timeout_exit_code_and_resumable(self, tmp_path, capsys):
+        from repro.cli import EXIT_TIMEOUT
+
+        ck = tmp_path / "wd.npz"
+        code = main([
+            "run", "--nx", "16", "--ny", "8", "-n", "256", "-p", "4",
+            "--iterations", "1000000", "--policy", "static",
+            "--timeout", "0.3",
+            "--checkpoint-every", "1", "--checkpoint-path", str(ck),
+            "--metrics", str(tmp_path / "m.jsonl"),
+        ])
+        assert code == EXIT_TIMEOUT == 124
+        capsys.readouterr()
+        assert ck.exists()
+        # the timeout event is in the metrics stream
+        stream = (tmp_path / "m.jsonl").read_text()
+        assert '"kind": "timeout"' in stream
+        # and the checkpoint resumes
+        assert main(["resume", str(ck), "--iterations", "1"]) == 0
+        capsys.readouterr()
+
+    def test_run_timeout_validation(self):
+        with pytest.raises(SystemExit, match="--timeout"):
+            main([
+                "run", "--nx", "16", "--ny", "8", "-n", "256", "-p", "4",
+                "--iterations", "2", "--timeout", "-1",
+            ])
+
+    def test_bench_timeout_saves_partial(self, tmp_path, capsys):
+        from repro.cli import EXIT_TIMEOUT
+
+        out = tmp_path / "partial.json"
+        code = main([
+            "bench", "run", "--suite", "smoke", "--repeats", "1",
+            "--warmup", "0", "--timeout", "0.0001", "--output", str(out),
+        ])
+        assert code == EXIT_TIMEOUT
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["schema"].startswith("repro-bench")
+        assert doc["cases"] == {} or isinstance(doc["cases"], dict)

@@ -100,6 +100,48 @@ class TestGracefulFallback:
         sim.close()
 
 
+class TestDegradedObservability:
+    """A silent multicore fallback must be visible in results + telemetry."""
+
+    def test_fallback_sets_degraded_marker(self, monkeypatch):
+        from repro.parallel_exec import backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "shared_memory_available", lambda: False)
+        monkeypatch.setattr(backend_mod, "_warned", set())
+        cfg = SimulationConfig(nx=16, ny=8, nparticles=256, p=2, seed=1)
+        with pytest.warns(RuntimeWarning):
+            sim = Simulation(cfg, workers=4)
+        assert sim.degraded is not None
+        assert sim.degraded["requested_workers"] == 4
+        assert "shared" in sim.degraded["reason"]
+        telemetry = sim.enable_telemetry()
+        result = sim.run(1)
+        assert result.to_dict()["degraded"] == sim.degraded
+        assert telemetry.header()["degraded"] == sim.degraded
+        sim.close()
+
+    def test_engine_mismatch_sets_degraded_marker(self):
+        cfg = SimulationConfig(
+            nx=16, ny=8, nparticles=256, p=2, seed=1, engine="looped"
+        )
+        with pytest.warns(RuntimeWarning, match="ignored"):
+            sim = Simulation(cfg, workers=2)
+        assert sim.degraded is not None
+        assert sim.degraded["requested_workers"] == 2
+        assert "engine" in sim.degraded["reason"]
+        sim.close()
+
+    def test_true_runs_carry_no_marker(self):
+        cfg = SimulationConfig(nx=16, ny=8, nparticles=256, p=2, seed=1)
+        sim = Simulation(cfg)  # in-process was *requested*: not degraded
+        sim.enable_telemetry()
+        result = sim.run(1)
+        assert sim.degraded is None
+        assert "degraded" not in result.to_dict()  # byte-identity preserved
+        assert "degraded" not in sim.telemetry.header()
+        sim.close()
+
+
 # ----------------------------------------------------------------------
 # shared-memory arena
 # ----------------------------------------------------------------------
