@@ -543,7 +543,8 @@ def _service_cache_fixture() -> dict:
     t0 = time.monotonic()
     report = Scheduler(workers=2, cache=root / "cache", workdir=root / "work").run(jobs)
     cold_wall = time.monotonic() - t0
-    assert report["ok"], report["counters"]
+    if not report["ok"]:
+        raise RuntimeError(f"cold service batch failed: {report['counters']}")
     return {"root": root, "jobs": jobs, "cold_wall": cold_wall}
 
 
@@ -553,7 +554,8 @@ def _service_cache_fixture() -> dict:
     tier=1,
     repeats=3,
     description="warm resubmission of a 3-job p=32 batch served entirely from "
-    "the result cache; pins the <1% warm/cold wall contract",
+    "the result cache; reports warm_fraction (the <1% warm/cold contract is "
+    "asserted by tests/test_chaos_service.py, not in the timed body)",
     setup=_service_cache_fixture,
 )
 def _service_cache_hit(ctx: dict) -> BenchObservation:
@@ -566,15 +568,20 @@ def _service_cache_hit(ctx: dict) -> BenchObservation:
         workers=2, cache=ctx["root"] / "cache", workdir=ctx["root"] / "work"
     ).run(ctx["jobs"])
     warm_wall = time.monotonic() - t0
-    assert report["ok"], report["counters"]
-    assert report["counters"]["cache_hits"] == len(ctx["jobs"])
-    assert warm_wall < 0.01 * ctx["cold_wall"], (
-        f"warm batch took {warm_wall:.4f}s, "
-        f">= 1% of the {ctx['cold_wall']:.3f}s cold batch"
-    )
+    # correctness checks raise explicitly (an `assert` vanishes under -O);
+    # the timing contract itself is NOT enforced here — a loaded machine
+    # must yield a comparable observation, not crash the bench run
+    if not report["ok"]:
+        raise RuntimeError(f"warm service batch failed: {report['counters']}")
+    hits = report["counters"]["cache_hits"]
+    if hits != len(ctx["jobs"]):
+        raise RuntimeError(
+            f"expected {len(ctx['jobs'])} cache hits, got {hits}"
+        )
     return BenchObservation(
         extra={
             "cold_wall": ctx["cold_wall"],
+            "warm_wall": warm_wall,
             "warm_fraction": warm_wall / ctx["cold_wall"],
         }
     )

@@ -179,7 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "retries resume from the last checkpoint")
     submit.add_argument("--workdir", default=None, metavar="DIR",
                         help="scratch dir for in-progress checkpoints "
-                             "(default <cache>/work)")
+                             "(default <cache>/work; with --no-cache, a "
+                             "private temp dir removed after the batch)")
     submit.add_argument("--report", default=None, metavar="PATH",
                         help="write the batch report JSON (repro-batch/1) to PATH")
     submit.add_argument("--metrics", default=None, metavar="PATH",

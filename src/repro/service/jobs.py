@@ -83,9 +83,10 @@ class JobSpec:
         Optional ``FaultPlan`` dict injected into the run's virtual
         machine (part of the job key — it changes the result).
     chaos:
-        Optional worker sabotage, ``{"kind": "crash"|"hang",
-        "at_iteration": k, "attempts": [0, ...]}`` — *not* part of the
-        job key (it never changes the result, only the path to it).
+        Optional worker sabotage, ``{"kind":
+        "crash"|"hang"|"slow_start", "at_iteration": k, "seconds": s,
+        "attempts": [0, ...]}`` — *not* part of the job key (it never
+        changes the result, only the path to it).
     """
 
     config: dict
@@ -108,8 +109,9 @@ class JobSpec:
         if self.chaos is not None:
             kind = self.chaos.get("kind")
             require(
-                kind in ("crash", "hang"),
-                f"chaos kind must be 'crash' or 'hang', got {kind!r}",
+                kind in ("crash", "hang", "slow_start"),
+                f"chaos kind must be 'crash', 'hang', or 'slow_start', "
+                f"got {kind!r}",
             )
         if not self.name:
             self.name = self.key[:12]

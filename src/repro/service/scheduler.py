@@ -9,7 +9,10 @@ at most ``workers`` live at a time) with full fault tolerance:
   job without a process (bit-identical to the fresh run).
 * **heartbeats** — workers report after every iteration; a worker
   silent past ``heartbeat_timeout`` is declared hung, killed, and the
-  job rescheduled.
+  job rescheduled.  The watchdog arms at the worker's first message
+  (``started``), so simulation construction/restore time never counts
+  against the heartbeat budget; a worker hung *before* its first
+  message is bounded by ``timeout``.
 * **deadlines** — ``timeout`` bounds each attempt's wall clock; on
   expiry the worker is killed and the attempt counts as a
   :class:`~repro.util.errors.JobTimeout`.
@@ -24,6 +27,9 @@ at most ``workers`` live at a time) with full fault tolerance:
   materializing all supervision state at once; ``max_failures`` is a
   circuit breaker that stops launching after N distinct job failures
   and cancels the remainder, reporting everything in the batch report.
+  A live job that fails retryably *after* the breaker opened is
+  cancelled too (never rescheduled — nothing launches once the circuit
+  is open), so the batch always terminates.
 
 The returned batch report (schema ``repro-batch/1``) records every
 job's terminal state, attempts, retries (with reasons and delays),
@@ -34,6 +40,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import random
+import shutil
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -79,6 +87,7 @@ class _Live:
     started: float
     last_beat: float
     finished: bool = False  #: terminal message received (EOF is then benign)
+    beating: bool = False  #: first message received — heartbeat watchdog armed
 
 
 @dataclass
@@ -144,9 +153,15 @@ class Scheduler:
         """Drain ``jobs`` to terminal states; returns the batch report."""
         require(len(jobs) > 0, "a batch needs at least one job")
         workdir = Path(self.workdir) if self.workdir is not None else None
+        scratch_workdir = False
         if workdir is None:
-            root = self.cache.root if self.cache is not None else Path(".")
-            workdir = root / "work"
+            if self.cache is not None:
+                workdir = self.cache.root / "work"
+            else:
+                # no cache to anchor the documented <cache>/work default:
+                # use a private temp dir, never the caller's cwd
+                workdir = Path(tempfile.mkdtemp(prefix="repro-jobs-"))
+                scratch_workdir = True
         workdir.mkdir(parents=True, exist_ok=True)
 
         records = [JobRecord(spec=spec) for spec in jobs]
@@ -242,6 +257,19 @@ class Scheduler:
                 say(f"FAILED {rec.name}: {reason}")
                 if self.max_failures and counters.failed >= self.max_failures:
                     open_circuit()
+                return
+            if circuit_open:
+                # the breaker tripped while this attempt was in flight;
+                # a retry would never launch (launches are gated on the
+                # closed circuit) and would spin the loop forever
+                rec.state = JobState.CANCELLED
+                rec.error = (
+                    f"cancelled after {reason}: the batch circuit breaker "
+                    f"is open (max_failures={self.max_failures})"
+                )
+                counters.cancelled += 1
+                tel.on_cancelled(rec.name, reason)
+                say(f"cancelled {rec.name} (circuit open): {reason}")
                 return
             delay = backoff_delay(
                 rec.key, attempt, base=self.backoff_base, cap=self.backoff_cap
@@ -350,10 +378,12 @@ class Scheduler:
                         return
                     if kind == "started":
                         entry.last_beat = time.monotonic()
+                        entry.beating = True
                         if body.get("iteration", 0) > 0:
                             entry.record.resumed_from = int(body["iteration"])
                     elif kind == "heartbeat":
                         entry.last_beat = time.monotonic()
+                        entry.beating = True
                         tel.on_heartbeat(entry.record.name, body.get("iteration", -1))
                     elif kind == "done":
                         entry.finished = True
@@ -399,6 +429,8 @@ class Scheduler:
                     continue
                 if (
                     self.heartbeat_timeout is not None
+                    and entry.beating  # armed at the first worker message:
+                    # construction/restore time is not heartbeat silence
                     and now - entry.last_beat >= self.heartbeat_timeout
                 ):
                     silent = now - entry.last_beat
@@ -428,6 +460,8 @@ class Scheduler:
                     worker_lost(entry, f"worker died (exitcode {ec})")
 
         # -- report -----------------------------------------------------
+        if scratch_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
         ok = all(rec.state == JobState.DONE for rec in records)
         report = {
             "schema": BATCH_SCHEMA,

@@ -99,6 +99,10 @@ class ServiceTelemetry:
         self.registry.counter("workers.lost").inc()
         self.event("worker_lost", job=job, exitcode=exitcode)
 
+    def on_cancelled(self, job: str, reason: str) -> None:
+        self.registry.counter("jobs.cancelled").inc()
+        self.event("job_cancelled", job=job, reason=reason)
+
     def on_pool_shrink(self, size: int, reason: str) -> None:
         self.registry.counter("pool.shrinks").inc()
         self.registry.gauge("pool.size").set(size)

@@ -22,7 +22,9 @@ fault injection at the *process* level, next to
 ``{"kind": "crash", "at_iteration": k, "attempts": [0]}`` SIGKILLs the
 process before iteration ``k`` on the listed attempts; ``"hang"`` stops
 heartbeating and sleeps until the supervisor's heartbeat timeout kills
-it.
+it; ``{"kind": "slow_start", "seconds": s}`` sleeps *before* the
+simulation is built, modelling an expensive construction/restore — the
+supervisor must not count that window as heartbeat silence.
 """
 
 from __future__ import annotations
@@ -102,6 +104,16 @@ def worker_main(
     label = spec.name
     ck = scratch_checkpoint(workdir, spec.key)
     try:
+        chaos = spec.chaos
+        if (
+            chaos
+            and chaos.get("kind") == "slow_start"
+            and attempt in chaos.get("attempts", [0])
+        ):
+            # simulate an expensive Simulation build/restore: no message
+            # has been sent yet, so this must not trip the heartbeat
+            # watchdog (it only arms at the first message)
+            time.sleep(float(chaos.get("seconds", 0.5)))
         if ck.exists():
             sim = Simulation.from_checkpoint(ck)
             plan = _remaining_plan(spec.fault_plan, sim.iteration)

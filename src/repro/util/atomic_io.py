@@ -18,6 +18,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import IO, Any, Iterator
 
@@ -33,15 +34,22 @@ __all__ = [
 def atomic_writer(path: str | Path, mode: str = "wb") -> Iterator[IO]:
     """Context manager yielding a temp-file handle atomically installed at ``path``.
 
-    The temporary file lives next to ``path`` (``.<name>.tmp.<pid>``) so
-    the final :func:`os.replace` is a same-filesystem rename.  On a
-    clean exit the file is flushed, fsynced, and renamed into place; on
-    an exception the temp file is removed and ``path`` is untouched.
+    The temporary file lives next to ``path`` so the final
+    :func:`os.replace` is a same-filesystem rename, and its name is
+    drawn from :func:`tempfile.mkstemp` so every writer — including two
+    threads of one process racing on the same target — gets a distinct
+    file; concurrent writers can never truncate each other mid-flight,
+    and last rename wins with a complete artifact.  On a clean exit the
+    file is flushed, fsynced, and renamed into place; on an exception
+    the temp file is removed and ``path`` is untouched.
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.tmp."
+    )
+    tmp = Path(tmp_name)
     try:
-        with open(tmp, mode) as fh:
+        with os.fdopen(fd, mode) as fh:
             yield fh
             fh.flush()
             os.fsync(fh.fileno())

@@ -52,6 +52,20 @@ class TestAtomicWriter:
         assert not path.exists()
         assert os.listdir(tmp_path) == []
 
+    def test_interleaved_writers_same_target_do_not_clobber(self, tmp_path):
+        # two writers in ONE process racing on the same target: each must
+        # get a distinct temp file (pid alone is not unique enough), so
+        # neither truncates the other's in-flight data and no cleanup
+        # unlinks the other's temp — last rename wins, complete
+        path = tmp_path / "out.txt"
+        with atomic_writer(path, "w") as outer:
+            outer.write("outer")
+            with atomic_writer(path, "w") as inner:
+                inner.write("inner")
+            assert path.read_text() == "inner"
+        assert path.read_text() == "outer"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
 
 class TestConvenienceWrappers:
     def test_bytes(self, tmp_path):

@@ -2,6 +2,7 @@
 sweeps, backoff, scheduler happy path, and the run-level watchdog."""
 
 import json
+import threading
 
 import pytest
 
@@ -299,6 +300,75 @@ class TestSchedulerBasics:
         states = {r["name"]: r["state"] for r in report["jobs"]}
         assert states["bad"] == "failed"
         assert list(states.values()).count("cancelled") == 2
+
+    def test_circuit_open_cancels_late_retryable_failure(self, tmp_path):
+        # "bad" exhausts its retries quickly and trips the breaker while
+        # "hung" is still live; the hung worker's heartbeat loss lands
+        # after the circuit opened and must cancel the job, not schedule
+        # a retry (a retry would never launch — launches are gated on
+        # the closed circuit — and the loop would busy-spin forever)
+        bad = JobSpec(
+            config=dict(BASE, seed=0),
+            iterations=4,
+            name="bad",
+            fault_plan={"events": [{"kind": "kill", "rank": 99, "iteration": 1}]},
+        )
+        hung = JobSpec(
+            config=dict(BASE, seed=1),
+            iterations=4,
+            name="hung",
+            chaos={"kind": "hang", "at_iteration": 0, "attempts": [0]},
+        )
+        sched = Scheduler(
+            workers=2,
+            cache=None,
+            workdir=tmp_path,
+            retries=1,
+            max_failures=1,
+            heartbeat_timeout=1.5,
+        )
+        out = {}
+        th = threading.Thread(
+            target=lambda: out.update(report=sched.run([bad, hung])), daemon=True
+        )
+        th.start()
+        th.join(60.0)
+        assert not th.is_alive(), "scheduler busy-spun after the circuit opened"
+        report = out["report"]
+        assert report["circuit_open"] and not report["ok"]
+        states = {r["name"]: r["state"] for r in report["jobs"]}
+        assert states["bad"] == "failed"
+        assert states["hung"] == "cancelled"
+        assert report["counters"]["cancelled"] == 1
+        kinds = {r["kind"] for r in sched.telemetry.records}
+        assert "job_cancelled" in kinds
+
+    def test_no_cache_no_workdir_uses_private_tempdir(self, tmp_path, monkeypatch):
+        # --no-cache without --workdir must not drop scratch checkpoints
+        # into ./work in the caller's cwd
+        monkeypatch.chdir(tmp_path)
+        report = Scheduler(workers=1, cache=None).run([spec(seed=0)])
+        assert report["ok"]
+        assert not (tmp_path / "work").exists()
+
+    def test_slow_start_survives_heartbeat_watchdog(self, tmp_path):
+        # simulation construction longer than heartbeat_timeout: the
+        # watchdog only arms at the worker's first message, so a slow
+        # build must not be killed as hung
+        job = spec(
+            seed=0,
+            name="slow",
+            chaos={"kind": "slow_start", "seconds": 1.2, "attempts": [0]},
+        )
+        report = Scheduler(
+            workers=1,
+            cache=None,
+            workdir=tmp_path,
+            retries=0,
+            heartbeat_timeout=0.4,
+        ).run([job])
+        assert report["ok"]
+        assert report["counters"]["heartbeats_lost"] == 0
 
     def test_report_renders(self, tmp_path):
         report = Scheduler(workers=1, cache=None, workdir=tmp_path).run(
