@@ -9,7 +9,9 @@ Usage examples::
         --checkpoint-every 25 --checkpoint-path run.ckpt.npz
     python -m repro resume run.ckpt.npz --iterations 100
     python -m repro run --iterations 100 --trace run.trace.json --metrics run.jsonl
+    python -m repro run --iterations 100 --profile prof/ --prom-dir metrics/
     python -m repro report run.jsonl --trace run.trace.json
+    python -m repro report --batch obs/
     python -m repro scenarios
     python -m repro schemes
     python -m repro policies
@@ -17,7 +19,9 @@ Usage examples::
     python -m repro bench policy --smoke --output BENCH_policies.json
     python -m repro bench compare BENCH_old.json BENCH_smoke.json
     python -m repro submit jobs.json --jobs 4 --retries 2 --cache .repro-cache
-    python -m repro jobs batch_report.json
+    python -m repro submit jobs.json --obs-dir obs/ --prom-dir metrics/
+    python -m repro top obs/service.jsonl
+    python -m repro jobs batch_report.json --stream obs/service.jsonl
 
 Exit codes: 0 success, 1 failure; ``124`` means a ``--timeout``
 wall-clock watchdog expired (coreutils ``timeout(1)`` convention) — for
@@ -113,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", metavar="PATH",
                      help="write per-iteration metrics JSONL (load imbalance, "
                           "comm tallies, SAR decisions, events)")
+    run.add_argument("--profile", metavar="DIR",
+                     help="deterministic kernel profiling: write collapsed-stack "
+                          "flamegraph files (.folded) of the hot-path sections "
+                          "to DIR; results stay bit-identical")
+    run.add_argument("--prom-dir", metavar="DIR",
+                     help="write a Prometheus textfile-collector snapshot "
+                          "(repro-run.prom) of the run's metrics registry to DIR")
     run.add_argument("--timeout", type=float, metavar="S", default=None,
                      help="wall-clock watchdog: stop after S seconds (at an "
                           "iteration boundary), write a final checkpoint if "
@@ -145,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Perfetto/Chrome trace JSON of the resumed run")
     resume.add_argument("--metrics", metavar="PATH",
                         help="write per-iteration metrics JSONL of the resumed run")
+    resume.add_argument("--profile", metavar="DIR",
+                        help="write collapsed-stack flamegraph files of the "
+                             "resumed run's kernel sections to DIR")
+    resume.add_argument("--prom-dir", metavar="DIR",
+                        help="write a Prometheus textfile snapshot of the "
+                             "resumed run's metrics registry to DIR")
     resume.add_argument("--timeout", type=float, metavar="S", default=None,
                         help="wall-clock watchdog: stop after S seconds and "
                              "exit with code 124 (see `run --timeout`)")
@@ -184,7 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--report", default=None, metavar="PATH",
                         help="write the batch report JSON (repro-batch/1) to PATH")
     submit.add_argument("--metrics", default=None, metavar="PATH",
-                        help="write scheduler telemetry JSONL (repro-service/1)")
+                        help="write scheduler telemetry JSONL (repro-service/2)")
+    submit.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="observability directory: stream service.jsonl live "
+                             "(tail it with `repro top`) and save each job's "
+                             "metrics + trace files there, all stamped with the "
+                             "batch correlation identity")
+    submit.add_argument("--prom-dir", default=None, metavar="DIR",
+                        help="write Prometheus textfile snapshots "
+                             "(repro-batch.prom) of the batch registry to DIR, "
+                             "refreshed on every scheduler tick")
     submit.add_argument("--json", action="store_true",
                         help="print the batch report JSON to stdout")
 
@@ -192,17 +218,44 @@ def build_parser() -> argparse.ArgumentParser:
         "jobs", help="render the status table of a saved batch report"
     )
     jobs_p.add_argument("report", help="batch report JSON written by `submit --report`")
+    jobs_p.add_argument("--stream", metavar="PATH",
+                        help="service.jsonl of the batch (written by "
+                             "`submit --obs-dir`); sources the attempts and "
+                             "cache columns from the event stream")
+    jobs_p.add_argument("--watch", action="store_true",
+                        help="with --stream: follow the live stream like "
+                             "`repro top` until the batch finishes")
+
+    top = sub.add_parser(
+        "top", help="live view of a running batch (tails its service.jsonl)"
+    )
+    top.add_argument("stream",
+                     help="service.jsonl streamed by `submit --obs-dir DIR` "
+                          "(DIR/service.jsonl)")
+    top.add_argument("--interval", type=float, default=0.5, metavar="S",
+                     help="refresh interval in seconds (default 0.5)")
+    top.add_argument("--once", action="store_true",
+                     help="render the current state once and exit (CI mode)")
+    top.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="give up after S seconds even if the batch is still "
+                          "running")
 
     report = sub.add_parser(
         "report",
         help="render a telemetry report from metrics JSONL (and optionally a trace)",
     )
-    report.add_argument("metrics", nargs="+",
+    report.add_argument("metrics", nargs="*",
                         help="metrics JSONL file(s) written by `run --metrics`; "
                              "two or more adds a side-by-side comparison")
     report.add_argument("--trace", metavar="PATH",
                         help="trace JSON written by `run --trace` (cross-checked "
                              "against the first metrics file)")
+    report.add_argument("--batch", metavar="DIR",
+                        help="aggregate a batch obs directory (`submit "
+                             "--obs-dir`) instead: join the service stream with "
+                             "every job's metrics and render the rollup")
+    report.add_argument("--json", action="store_true",
+                        help="with --batch: print the rollup document as JSON")
 
     sub.add_parser("scenarios", help="list the paper's experiment configurations")
     sub.add_parser("schemes", help="list registered indexing schemes")
@@ -408,21 +461,35 @@ def _emit_result(args: argparse.Namespace, result, title: str) -> int:
 
 
 def _maybe_enable_telemetry(sim: Simulation, args: argparse.Namespace) -> None:
-    """Turn on telemetry when ``--trace`` / ``--metrics`` was given."""
-    if args.trace or args.metrics:
+    """Turn on the observability the command line asked for."""
+    if args.trace or args.metrics or args.prom_dir:
         sim.enable_telemetry()
+    if args.profile:
+        sim.enable_profiling()
 
 
 def _save_telemetry(sim: Simulation, args: argparse.Namespace) -> None:
-    """Write the telemetry artifacts requested on the command line."""
-    if sim.telemetry is None:
-        return
-    if args.trace:
-        path = sim.telemetry.save_trace(args.trace)
-        print(f"[trace written to {path}]", file=sys.stderr)
-    if args.metrics:
-        path = sim.telemetry.save_metrics(args.metrics)
-        print(f"[metrics written to {path}]", file=sys.stderr)
+    """Write the observability artifacts requested on the command line."""
+    if sim.telemetry is not None:
+        if args.trace:
+            path = sim.telemetry.save_trace(args.trace)
+            print(f"[trace written to {path}]", file=sys.stderr)
+        if args.metrics:
+            path = sim.telemetry.save_metrics(args.metrics)
+            print(f"[metrics written to {path}]", file=sys.stderr)
+        if args.prom_dir:
+            from repro.obs.prom import write_prom_snapshot
+
+            path = write_prom_snapshot(
+                args.prom_dir, sim.telemetry.registry, name="repro-run.prom"
+            )
+            print(f"[prometheus snapshot written to {path}]", file=sys.stderr)
+    if args.profile and sim.profiler is not None:
+        paths = sim.save_profile(args.profile)
+        print(
+            f"[{len(paths)} flamegraph file(s) written to {args.profile}]",
+            file=sys.stderr,
+        )
 
 
 def _workers_arg(args: argparse.Namespace) -> str | int:
@@ -552,6 +619,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         max_failures=args.max_failures,
         checkpoint_every=args.checkpoint_every,
         progress=progress,
+        obs_dir=args.obs_dir,
+        prom_dir=args.prom_dir,
     )
     report = scheduler.run(jobs)
     if args.report:
@@ -574,22 +643,70 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
     from repro.service import render_report
 
+    if args.watch and not args.stream:
+        raise SystemExit("--watch requires --stream")
     try:
         report = json.loads(Path(args.report).read_text())
     except FileNotFoundError:
         raise SystemExit(f"batch report not found: {args.report}")
     except json.JSONDecodeError as exc:
         raise SystemExit(f"batch report {args.report} is not valid JSON: {exc}")
+    events = None
+    if args.stream:
+        from repro.obs.top import read_stream
+
+        if not Path(args.stream).exists():
+            raise SystemExit(f"service stream not found: {args.stream}")
+        if args.watch:
+            from repro.obs.top import top_loop
+
+            top_loop(args.stream)
+        events, _ = read_stream(args.stream)
     try:
-        print(render_report(report))
+        print(render_report(report, events=events))
     except (ValueError, KeyError, TypeError) as exc:
         raise SystemExit(f"bad batch report: {exc}")
     return 0 if report.get("ok") else 1
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import top_loop
+
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be > 0 seconds, got {args.interval}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be > 0 seconds, got {args.timeout}")
+    view = top_loop(
+        args.stream,
+        interval=args.interval,
+        once=args.once,
+        timeout=args.timeout,
+    )
+    return 0 if (view.finished or args.once) else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.telemetry import TelemetrySchemaError, report_from_files
 
+    if args.batch:
+        from repro.obs.batch import aggregate_batch, render_batch_rollup
+
+        try:
+            rollup = aggregate_batch(args.batch)
+        except FileNotFoundError as exc:
+            raise SystemExit(f"batch file not found: {exc.filename or exc}")
+        except TelemetrySchemaError as exc:
+            raise SystemExit(f"bad batch directory: {exc}")
+        if args.json:
+            print(json.dumps(rollup, indent=2))
+        else:
+            print(render_batch_rollup(rollup))
+        if rollup["correlation"]["orphans"]:
+            return 1
+        if not args.metrics:
+            return 0
+    elif not args.metrics:
+        raise SystemExit("give metrics JSONL file(s) or --batch DIR")
     try:
         print(report_from_files(args.metrics, trace_path=args.trace))
     except FileNotFoundError as exc:
@@ -850,6 +967,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "scenarios":

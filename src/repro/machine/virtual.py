@@ -83,6 +83,13 @@ class VirtualMachine:
         #: the clocks, it never charges them, so accounting is identical
         #: with and without it.
         self.tracer = None
+        #: optional :class:`repro.obs.profile.PhaseProfiler`; when set,
+        #: :meth:`phase` opens a host-wall-clock section per phase so
+        #: kernel-level timings nest under their phase.  Same dormant
+        #: contract as the tracer: ``None`` leaves a single ``is None``
+        #: branch, and the profiler measures *host* time only — the
+        #: virtual clocks and op counts are untouched either way.
+        self.profiler = None
 
     def install_faults(self, plan) -> "VirtualMachine":
         """Attach a :class:`~repro.machine.faults.FaultPlan` (or injector).
@@ -120,6 +127,9 @@ class VirtualMachine:
         """
         tracer = self.tracer
         start = self.clocks.copy() if tracer is not None else None
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push(name)
         self._phase_stack.append(name)
         try:
             yield
@@ -128,6 +138,8 @@ class VirtualMachine:
             self._phase_stack.pop()
             if tracer is not None:
                 tracer.record_phase(name, start, self.clocks, depth=depth)
+            if profiler is not None:
+                profiler.pop(name)
 
     # ------------------------------------------------------------------
     # time accounting

@@ -1,0 +1,43 @@
+"""Fleet observability: profiling, Prometheus export, batch rollups, live view.
+
+This package is the cross-cutting observability layer on top of the
+run-level telemetry (:mod:`repro.telemetry`) and the job service
+(:mod:`repro.service`):
+
+- :mod:`repro.obs.profile` — deterministic host-wall profiling of the
+  flat-engine hot path, exported as collapsed-stack flamegraph files.
+- :mod:`repro.obs.prom` — Prometheus textfile-collector snapshots of a
+  :class:`~repro.telemetry.metrics.MetricsRegistry`.
+- :mod:`repro.obs.batch` — the ``repro report --batch`` aggregator that
+  joins a batch's service stream with its per-job metrics files.
+- :mod:`repro.obs.top` — the ``repro top`` live batch view over the
+  streamed ``service.jsonl``.
+
+Everything here follows the repo's zero-cost contract (DESIGN.md §5.8):
+observability off means dormant ``is None`` hooks and bit-identical
+results; observability on never touches virtual clocks or op counts.
+"""
+
+from repro.obs.batch import BATCH_ROLLUP_SCHEMA, aggregate_batch, render_batch_rollup
+from repro.obs.profile import PhaseProfiler, maybe_section
+from repro.obs.prom import (
+    parse_prom_text,
+    render_prom_text,
+    write_prom_snapshot,
+)
+from repro.obs.top import BatchView, read_stream, render_top, top_loop
+
+__all__ = [
+    "BATCH_ROLLUP_SCHEMA",
+    "BatchView",
+    "PhaseProfiler",
+    "aggregate_batch",
+    "maybe_section",
+    "parse_prom_text",
+    "read_stream",
+    "render_batch_rollup",
+    "render_prom_text",
+    "render_top",
+    "top_loop",
+    "write_prom_snapshot",
+]

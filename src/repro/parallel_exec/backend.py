@@ -412,6 +412,17 @@ class FlatBackend:
         return dest_view.copy(), same_view.copy()
 
     # ------------------------------------------------------------------
+    # profiling passthrough (repro.obs.profile)
+    # ------------------------------------------------------------------
+    def set_profiling(self, enabled: bool) -> None:
+        """Toggle in-worker handler timing (see ``WorkerPool.set_profiling``)."""
+        self.workers.set_profiling(enabled)
+
+    def drain_profile(self) -> dict:
+        """Collect and clear worker handler timings, summed over workers."""
+        return self.workers.drain_profile()
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop the workers and unlink every shared block (idempotent)."""
         self._finalizer()

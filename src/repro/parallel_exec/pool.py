@@ -124,13 +124,33 @@ def _h_ping(state):
     return "pong"
 
 
+def _h_set_profile(state, *, enabled):
+    """Toggle in-worker handler timing (resets accumulated samples)."""
+    state["profile"] = bool(enabled)
+    state["prof_samples"] = {}
+    return None
+
+
+def _h_drain_profile(state):
+    """Return and clear this worker's ``{handler: [count, seconds]}``."""
+    samples = state["prof_samples"]
+    state["prof_samples"] = {}
+    return samples
+
+
 _HANDLERS = {
     "scatter": _h_scatter,
     "gather_push": _h_gather_push,
     "migrate": _h_migrate,
     "classify": _h_classify,
     "ping": _h_ping,
+    "set_profile": _h_set_profile,
+    "drain_profile": _h_drain_profile,
 }
+
+#: handlers whose bodies are timed when profiling is on (control
+#: messages are not — they are not part of the hot path)
+_PROFILED = frozenset({"scatter", "gather_push", "migrate", "classify"})
 
 
 def _worker_main(conn, grid_params: tuple) -> None:
@@ -144,6 +164,8 @@ def _worker_main(conn, grid_params: tuple) -> None:
         "grid": Grid2D(int(nx), int(ny), float(lx), float(ly)),
         "cache": ShmAttachCache(capacity=12),
         "cic": None,
+        "profile": False,  #: dormant until a "set_profile" control message
+        "prof_samples": {},
     }
     try:
         while True:
@@ -155,7 +177,17 @@ def _worker_main(conn, grid_params: tuple) -> None:
                 break
             fn, kwargs = msg
             try:
-                out = _HANDLERS[fn](state, **kwargs)
+                if state["profile"] and fn in _PROFILED:
+                    from time import perf_counter
+
+                    t0 = perf_counter()
+                    out = _HANDLERS[fn](state, **kwargs)
+                    dt = perf_counter() - t0
+                    cell = state["prof_samples"].setdefault(fn, [0, 0.0])
+                    cell[0] += 1
+                    cell[1] += dt
+                else:
+                    out = _HANDLERS[fn](state, **kwargs)
                 reply = ("ok", out)
             except BaseException as exc:  # report, keep serving
                 reply = ("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
@@ -226,6 +258,33 @@ class WorkerPool:
                 raise WorkerError(f"worker {w} failed in {fn!r}:\n{payload}")
             out.append(payload)
         return out
+
+    def set_profiling(self, enabled: bool) -> None:
+        """Toggle handler timing in every worker (resets their samples)."""
+        self.run(
+            [
+                (w, "set_profile", {"enabled": bool(enabled)})
+                for w in range(self.nworkers)
+            ]
+        )
+
+    def drain_profile(self) -> dict:
+        """Collect and clear all workers' handler timings.
+
+        Returns ``{handler: [count, seconds]}`` summed over workers —
+        the per-handler CPU-time footprint of the pool since profiling
+        was enabled (or last drained).
+        """
+        merged: dict[str, list] = {}
+        per_worker = self.run(
+            [(w, "drain_profile", {}) for w in range(self.nworkers)]
+        )
+        for samples in per_worker:
+            for fn, (count, wall) in samples.items():
+                cell = merged.setdefault(fn, [0, 0.0])
+                cell[0] += int(count)
+                cell[1] += float(wall)
+        return merged
 
     def close(self) -> None:
         """Stop the workers (sentinel, join, terminate stragglers)."""

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.machine.virtual import VirtualMachine
 from repro.mesh.decomposition import MeshDecomposition
+from repro.obs.profile import maybe_section
 from repro.mesh.fields import FieldState
 from repro.mesh.halo import HaloSchedule
 from repro.particles.arrays import ParticleArray, ParticlePool
@@ -191,6 +192,11 @@ class ParallelPIC:
         #: the phase boundaries of :meth:`step`; ``None`` (default) keeps
         #: the hot path free of guard work.
         self.guard = None
+        #: optional :class:`repro.obs.profile.PhaseProfiler` opening
+        #: host-wall sections around the flat engine's kernels; ``None``
+        #: (default) keeps one dormant branch per kernel call.  The
+        #: profiler never touches the virtual clocks (DESIGN.md §5.8).
+        self.profiler = None
         # Ghost schedule of the latest scatter: _ghost_nodes[r][owner] =
         # node ids rank r contributed to that are owned by `owner`.
         self._ghost_nodes: list[dict[int, np.ndarray]] = [dict() for _ in range(vm.p)]
@@ -349,20 +355,23 @@ class ParallelPIC:
         sends: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [dict() for _ in range(p)]
         ghost_nodes: list[dict[int, np.ndarray]] = [dict() for _ in range(p)]
         backend = self.backend
+        prof = self.profiler
         with vm.phase("scatter"):
-            if backend is not None:
-                rows, entries_per_rank, uniq_per_rank, messages = backend.scatter(
-                    pool, self.node_owner, nnodes
-                )
-                # each worker holds its segment's CIC evaluation locally
-                self._cic_pool_cache = None
-            else:
-                rows = np.empty((p, nchannels, nnodes))
-                vertices, entries_per_rank, uniq_per_rank, messages = scatter_segment(
-                    grid, pool.array, counts, 0, self.node_owner, nnodes, rows
-                )
-                self._cic_pool_cache = (pool, vertices[0], vertices[1])
-            reduce_rank_rows(rows, p, acc)
+            with maybe_section(prof, "deposit"):
+                if backend is not None:
+                    rows, entries_per_rank, uniq_per_rank, messages = backend.scatter(
+                        pool, self.node_owner, nnodes
+                    )
+                    # each worker holds its segment's CIC evaluation locally
+                    self._cic_pool_cache = None
+                else:
+                    rows = np.empty((p, nchannels, nnodes))
+                    vertices, entries_per_rank, uniq_per_rank, messages = scatter_segment(
+                        grid, pool.array, counts, 0, self.node_owner, nnodes, rows
+                    )
+                    self._cic_pool_cache = (pool, vertices[0], vertices[1])
+            with maybe_section(prof, "reduce"):
+                reduce_rank_rows(rows, p, acc)
 
             table_ops = np.zeros(p)
             for r in np.flatnonzero(entries_per_rank):
@@ -376,18 +385,19 @@ class ParallelPIC:
             vm.charge_ops("scatter", 4.0 * counts.astype(float))
             vm.charge_ops("table", table_ops)
 
-            recv = vm.alltoallv(sends)
-            # Merge received ghost contributions exactly as the looped
-            # engine does — one bincount per message, destinations in
-            # rank order, sources sorted — so the per-node addition
-            # sequence (hence the floats) matches bit-for-bit.
-            merge_ops = np.zeros(p)
-            for r in range(p):
-                for _, (ids, vals) in sorted(recv[r].items()):
-                    for c in range(nchannels):
-                        acc[c] += np.bincount(ids, weights=vals[c], minlength=nnodes)
-                    merge_ops[r] += ids.size
-            vm.charge_ops("table", merge_ops)
+            with maybe_section(prof, "ghost_merge"):
+                recv = vm.alltoallv(sends)
+                # Merge received ghost contributions exactly as the looped
+                # engine does — one bincount per message, destinations in
+                # rank order, sources sorted — so the per-node addition
+                # sequence (hence the floats) matches bit-for-bit.
+                merge_ops = np.zeros(p)
+                for r in range(p):
+                    for _, (ids, vals) in sorted(recv[r].items()):
+                        for c in range(nchannels):
+                            acc[c] += np.bincount(ids, weights=vals[c], minlength=nnodes)
+                        merge_ops[r] += ids.size
+                vm.charge_ops("table", merge_ops)
 
         self._ghost_nodes = ghost_nodes
         self._cic_cache = None
@@ -538,6 +548,7 @@ class ParallelPIC:
         grid = self.grid
         pool = self._ensure_pool()
         backend = self.backend
+        prof = self.profiler
         node_values = self._field_node_values()
         eb = None
         with vm.phase("gather"):
@@ -546,21 +557,23 @@ class ParallelPIC:
                 self.last_gather_messages = recv
             vm.charge_ops("gather", 4.0 * pool.counts.astype(float))
             if backend is None:
-                cached = self._cic_pool_cache
-                self._cic_pool_cache = None  # positions change in the push below
-                if cached is not None and cached[0] is pool:
-                    nodes, weights = cached[1], cached[2]
-                else:
-                    nodes, weights = grid.cic_vertices_weights(pool.array.x, pool.array.y)
-                eb = gather_from_node_values(node_values, nodes, weights)
+                with maybe_section(prof, "interpolate"):
+                    cached = self._cic_pool_cache
+                    self._cic_pool_cache = None  # positions change in the push below
+                    if cached is not None and cached[0] is pool:
+                        nodes, weights = cached[1], cached[2]
+                    else:
+                        nodes, weights = grid.cic_vertices_weights(pool.array.x, pool.array.y)
+                    eb = gather_from_node_values(node_values, nodes, weights)
         with vm.phase("push"):
             vm.charge_ops("push", pool.counts.astype(float))
-            if backend is not None:
-                # workers interpolate + push their pool slices in place,
-                # reusing each slice's scatter-time CIC evaluation
-                backend.gather_push(pool, node_values, self.dt)
-            elif pool.n:
-                boris_push(grid, pool.array, eb[:3], eb[3:], self.dt)
+            with maybe_section(prof, "boris_push"):
+                if backend is not None:
+                    # workers interpolate + push their pool slices in place,
+                    # reusing each slice's scatter-time CIC evaluation
+                    backend.gather_push(pool, node_values, self.dt)
+                elif pool.n:
+                    boris_push(grid, pool.array, eb[:3], eb[3:], self.dt)
         if self.movement == "eulerian":
             self._migrate_eulerian()
 
@@ -614,21 +627,26 @@ class ParallelPIC:
         """
         vm = self.vm
         backend = self.backend
+        prof = self.profiler
         with vm.phase("migration"):
             pool = self._ensure_pool()
             if backend is not None:
                 vm.charge_ops("index", pool.counts.astype(float))
-                sends = backend.migration_sends(pool, self.decomp.owner_map)
-                received = alltoall_concat(vm, sends)
-                self._install_pool(backend.pool_from_matrices(received))
+                with maybe_section(prof, "partition"):
+                    sends = backend.migration_sends(pool, self.decomp.owner_map)
+                with maybe_section(prof, "exchange"):
+                    received = alltoall_concat(vm, sends)
+                    self._install_pool(backend.pool_from_matrices(received))
             else:
-                parts = pool.array
-                cells = self.grid.cell_id_of_positions(parts.x, parts.y)
-                owner = self.decomp.owner_of_cells(cells)
-                matrix = parts.to_matrix()
+                with maybe_section(prof, "partition"):
+                    parts = pool.array
+                    cells = self.grid.cell_id_of_positions(parts.x, parts.y)
+                    owner = self.decomp.owner_of_cells(cells)
+                    matrix = parts.to_matrix()
                 vm.charge_ops("index", pool.counts.astype(float))
-                received = exchange_by_destination_pooled(vm, matrix, owner, pool.offsets)
-                self._install_pool(ParticlePool.from_matrices(received))
+                with maybe_section(prof, "exchange"):
+                    received = exchange_by_destination_pooled(vm, matrix, owner, pool.offsets)
+                    self._install_pool(ParticlePool.from_matrices(received))
 
     # ------------------------------------------------------------------
     def close(self) -> None:

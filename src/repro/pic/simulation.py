@@ -202,6 +202,7 @@ class SimulationResult:
     trace: PhaseTrace | None = None  #: per-iteration phase profile (always recorded)
     telemetry: dict | None = None  #: final metric aggregates (None = telemetry off)
     degraded: dict | None = None  #: multicore-fallback marker (None = no fallback)
+    correlation: dict | None = None  #: batch identity stamp (None = standalone run)
 
     @property
     def overhead(self) -> float:
@@ -264,6 +265,11 @@ class SimulationResult:
             # only present on fallback runs, so untouched configurations
             # keep byte-identical output (zero-cost contract)
             out["degraded"] = self.degraded
+        if self.correlation is not None:
+            # present only on scheduler-stamped runs (same optional-key
+            # rule as above): the batch_id/job_id/attempt identity that
+            # joins this document with the batch's service stream
+            out["correlation"] = dict(self.correlation)
         return out
 
     def save_json(self, path) -> None:
@@ -430,6 +436,13 @@ class Simulation:
         #: telemetry bundle (None until :meth:`enable_telemetry`); when
         #: off, every hot-path hook is a dormant ``is None`` branch
         self.telemetry = None
+        #: host-wall profiler (None until :meth:`enable_profiling`); the
+        #: same dormant-hook contract as telemetry (DESIGN.md §5.8)
+        self.profiler = None
+        #: batch identity (``{"batch_id", "job_id", "attempt"}``) stamped
+        #: by the job service via :meth:`set_correlation`; ``None`` for
+        #: standalone runs, keeping their exports byte-identical
+        self.correlation: dict | None = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -470,9 +483,66 @@ class Simulation:
                 self.config.p,
                 config=config_to_dict(self.config),
                 degraded=self.degraded,
+                correlation=self.correlation,
             )
             self._wire_telemetry()
         return self.telemetry
+
+    def enable_profiling(self):
+        """Attach a :class:`~repro.obs.profile.PhaseProfiler` to this run.
+
+        The virtual machine opens a host-wall section per phase and the
+        flat engine nests kernel sections inside (worker-process handler
+        timings included, drained at :meth:`save_profile`).  Idempotent;
+        returns the profiler.  Profiling only reads the host clock —
+        results, ``vm.elapsed()``, and ``vm.ops`` stay bit-identical to
+        an unprofiled run, the same contract as telemetry.
+        """
+        if self.profiler is None:
+            from repro.obs.profile import PhaseProfiler
+
+            self.profiler = PhaseProfiler()
+            self._wire_profiler()
+        return self.profiler
+
+    def _wire_profiler(self) -> None:
+        """(Re-)attach the profiler to the current vm / stepper / backend.
+
+        Called at enable time and again after rank-failure recovery
+        (which swaps the machine and rebuilds the stepper).
+        """
+        prof = self.profiler
+        if prof is None:
+            return
+        self.vm.profiler = prof
+        self.pic.profiler = prof
+        if self.backend is not None:
+            self.backend.set_profiling(True)
+
+    def save_profile(self, directory) -> list[Path]:
+        """Export collapsed-stack ``.folded`` files (one per phase).
+
+        Drains any worker-process handler timings from the multicore
+        backend first; requires :meth:`enable_profiling`.
+        """
+        require(self.profiler is not None, "profiling is not enabled on this run")
+        if self.backend is not None:
+            self.profiler.merge_worker_samples(self.backend.drain_profile())
+        return self.profiler.export_folded(directory)
+
+    def set_correlation(self, correlation: dict | None) -> "Simulation":
+        """Stamp (or clear) the run's batch identity.
+
+        ``correlation`` is the job service's
+        ``{"batch_id", "job_id", "attempt"}`` dict; it propagates into
+        the telemetry header, the trace export, every checkpoint, and
+        :meth:`result`'s document, making all artifacts of a batch
+        joinable (DESIGN.md §5.8).  Returns ``self`` for chaining.
+        """
+        self.correlation = dict(correlation) if correlation is not None else None
+        if self.telemetry is not None:
+            self.telemetry.set_correlation(self.correlation)
+        return self
 
     def _wire_telemetry(self) -> None:
         """(Re-)attach telemetry sinks to the current vm / policy / guard.
@@ -871,6 +941,8 @@ class Simulation:
                 p=p_new,
             )
             self._wire_telemetry()
+        # the machine and stepper were both swapped above
+        self._wire_profiler()
 
     def result(self) -> SimulationResult:
         """The :class:`SimulationResult` of the history run so far."""
@@ -889,6 +961,7 @@ class Simulation:
             trace=self.trace,
             telemetry=self.telemetry.aggregates() if self.telemetry is not None else None,
             degraded=self.degraded,
+            correlation=self.correlation,
         )
 
     def final_state_summary(self) -> dict:
@@ -952,6 +1025,11 @@ class Simulation:
             # (a resumed run's PhaseTrace covers the full history)
             "trace_rows": self.trace.rows,
         }
+        if self.correlation is not None:
+            # batch identity rides along (optional key: standalone
+            # checkpoints stay byte-identical), so a checkpoint is
+            # joinable with its batch's service stream
+            run_state["correlation"] = dict(self.correlation)
         sort_keys = (
             self.redistributor.export_keys() if self.redistributor is not None else None
         )
@@ -1064,3 +1142,8 @@ class Simulation:
         # keys absent from checkpoints written before fault tolerance
         self.n_recoveries = int(rs.get("n_recoveries", 0))
         self.recovery_time = float(rs.get("recovery_time", 0.0))
+        # batch identity (absent from standalone / pre-observability
+        # checkpoints); the job service re-stamps the current attempt
+        self.correlation = (
+            dict(rs["correlation"]) if rs.get("correlation") is not None else None
+        )

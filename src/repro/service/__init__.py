@@ -20,9 +20,16 @@ from repro.service.jobs import (
     job_key,
 )
 from repro.service.queue import JobQueue
-from repro.service.scheduler import Scheduler, backoff_delay, render_report, run_batch
+from repro.service.scheduler import (
+    Scheduler,
+    backoff_delay,
+    derive_batch_id,
+    render_report,
+    run_batch,
+)
 from repro.service.sweep import expand_jobs, load_jobs
 from repro.service.telemetry import SERVICE_SCHEMA, ServiceTelemetry
+from repro.service.worker import job_artifact_stem
 
 __all__ = [
     "BATCH_SCHEMA",
@@ -37,7 +44,9 @@ __all__ = [
     "ServiceTelemetry",
     "backoff_delay",
     "canonical_json",
+    "derive_batch_id",
     "expand_jobs",
+    "job_artifact_stem",
     "job_key",
     "load_jobs",
     "payload_digest",

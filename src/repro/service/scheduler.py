@@ -38,6 +38,7 @@ cache provenance, and final-state summary; ``repro jobs`` renders it.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import random
 import shutil
@@ -60,6 +61,22 @@ __all__ = ["Scheduler", "run_batch", "render_report", "backoff_delay"]
 #: Supervision poll interval (seconds): the latency floor for detecting
 #: completions, deadline expiries, and dead workers.
 _TICK = 0.05
+
+#: Minimum seconds between Prometheus snapshot flushes during the loop.
+_PROM_EVERY = 0.5
+
+
+def derive_batch_id(jobs: list[JobSpec]) -> str:
+    """Deterministic batch identity: hash of the sorted job keys.
+
+    The same sweep resubmitted gets the same ``batch_id`` — batch
+    identity is content identity, like job identity, so reruns of a
+    batch correlate across service streams.
+    """
+    digest = hashlib.sha256(
+        "\n".join(sorted(spec.key for spec in jobs)).encode()
+    ).hexdigest()
+    return "batch-" + digest[:12]
 
 
 def backoff_delay(
@@ -130,6 +147,9 @@ class Scheduler:
     queue_maxsize: int | None = None
     shrink_after: int = 2  #: consecutive worker losses that shed one slot
     progress: object = None  #: optional callable(str) for status lines
+    batch_id: str | None = None  #: override the content-derived batch id
+    obs_dir: str | Path | None = None  #: live service stream + per-job telemetry
+    prom_dir: str | Path | None = None  #: Prometheus textfile snapshots
     telemetry: ServiceTelemetry = field(init=False, default=None)
 
     def __post_init__(self) -> None:
@@ -165,9 +185,13 @@ class Scheduler:
         workdir.mkdir(parents=True, exist_ok=True)
 
         records = [JobRecord(spec=spec) for spec in jobs]
+        batch_id = self.batch_id or derive_batch_id(jobs)
+        obs_dir = Path(self.obs_dir) if self.obs_dir is not None else None
+        prom_dir = Path(self.prom_dir) if self.prom_dir is not None else None
         tel = self.telemetry = ServiceTelemetry(
             jobs=len(records),
             workers=self.workers,
+            batch_id=batch_id,
             params={
                 "timeout": self.timeout,
                 "heartbeat_timeout": self.heartbeat_timeout,
@@ -176,6 +200,28 @@ class Scheduler:
                 "checkpoint_every": self.checkpoint_every,
             },
         )
+        if obs_dir is not None:
+            obs_dir.mkdir(parents=True, exist_ok=True)
+            tel.stream_to(obs_dir / "service.jsonl")
+        last_prom = 0.0
+
+        def flush_prom(force: bool = False) -> None:
+            nonlocal last_prom
+            if prom_dir is None:
+                return
+            now = time.monotonic()
+            if not force and now - last_prom < _PROM_EVERY:
+                return
+            last_prom = now
+            from repro.obs.prom import write_prom_snapshot
+
+            write_prom_snapshot(
+                prom_dir,
+                tel.registry,
+                name="repro-batch.prom",
+                labels={"batch": batch_id},
+            )
+
         counters = _Counters()
         queue = JobQueue(maxsize=self.queue_maxsize)
         backlog: deque[JobRecord] = deque(records)
@@ -206,7 +252,8 @@ class Scheduler:
                 ck = scratch_checkpoint(workdir, rec.key)
                 if ck.exists():
                     ck.unlink()
-            tel.on_done(rec.name, rec.wall, cached)
+            tel.on_done(rec, rec.wall, cached)
+            flush_prom()
             say(f"done {rec.name}" + (" (cache)" if cached else ""))
 
         def note_quarantines() -> None:
@@ -253,7 +300,7 @@ class Scheduler:
                 rec.state = JobState.FAILED
                 rec.error = reason
                 counters.failed += 1
-                tel.on_failed(rec.name, reason)
+                tel.on_failed(rec, reason)
                 say(f"FAILED {rec.name}: {reason}")
                 if self.max_failures and counters.failed >= self.max_failures:
                     open_circuit()
@@ -268,7 +315,7 @@ class Scheduler:
                     f"is open (max_failures={self.max_failures})"
                 )
                 counters.cancelled += 1
-                tel.on_cancelled(rec.name, reason)
+                tel.on_cancelled(rec, reason)
                 say(f"cancelled {rec.name} (circuit open): {reason}")
                 return
             delay = backoff_delay(
@@ -281,7 +328,7 @@ class Scheduler:
             rec.state = JobState.WAITING
             waiting.append((time.monotonic() + delay, rec))
             counters.retries += 1
-            tel.on_retry(rec.name, rec.attempt, reason, delay)
+            tel.on_retry(rec, rec.attempt, reason, delay)
             say(f"retry {rec.name} (attempt {rec.attempt + 1}) in {delay:.2f}s: {reason}")
 
         def kill_entry(entry: _Live) -> None:
@@ -298,7 +345,7 @@ class Scheduler:
             nonlocal pool_size, consecutive_losses
             counters.worker_losses += 1
             consecutive_losses += 1
-            tel.on_worker_lost(entry.record.name, entry.process.exitcode)
+            tel.on_worker_lost(entry.record, entry.process.exitcode)
             if consecutive_losses >= self.shrink_after and pool_size > 1:
                 pool_size -= 1
                 consecutive_losses = 0
@@ -322,6 +369,12 @@ class Scheduler:
                     str(workdir),
                     self.checkpoint_every,
                     rec.attempt,
+                    {
+                        "batch_id": batch_id,
+                        "job_id": rec.key,
+                        "attempt": rec.attempt,
+                    },
+                    str(obs_dir) if obs_dir is not None else None,
                 ),
                 daemon=True,
             )
@@ -330,7 +383,7 @@ class Scheduler:
             rec.state = JobState.RUNNING
             now = time.monotonic()
             live[parent] = _Live(rec, proc, parent, now, now)
-            tel.on_launch(rec.name, rec.attempt)
+            tel.on_launch(rec, rec.attempt)
             say(f"launch {rec.name} (attempt {rec.attempt + 1})")
 
         # -- main supervision loop --------------------------------------
@@ -355,8 +408,9 @@ class Scheduler:
                 if hit is not None:
                     finish_done(rec, 0.0, hit, cached=True)
                     continue
-                tel.on_cache_miss(rec.name)
+                tel.on_cache_miss(rec)
                 launch(rec)
+            flush_prom()
 
             if not live:
                 if waiting:
@@ -384,7 +438,12 @@ class Scheduler:
                     elif kind == "heartbeat":
                         entry.last_beat = time.monotonic()
                         entry.beating = True
-                        tel.on_heartbeat(entry.record.name, body.get("iteration", -1))
+                        tel.on_heartbeat(
+                            entry.record,
+                            body.get("iteration", -1),
+                            total=body.get("total"),
+                            imbalance=body.get("imbalance"),
+                        )
                     elif kind == "done":
                         entry.finished = True
                         finish_done(
@@ -419,7 +478,7 @@ class Scheduler:
                     del live[conn]
                     counters.timeouts += 1
                     elapsed = now - entry.started
-                    tel.on_timeout(rec.name, self.timeout, elapsed)
+                    tel.on_timeout(rec, self.timeout, elapsed)
                     retry_or_fail(
                         rec,
                         f"JobTimeout: exceeded the {self.timeout:g}s deadline "
@@ -437,7 +496,7 @@ class Scheduler:
                     kill_entry(entry)
                     del live[conn]
                     counters.heartbeats_lost += 1
-                    tel.on_heartbeat_lost(rec.name, silent)
+                    tel.on_heartbeat_lost(rec, silent)
                     retry_or_fail(
                         rec,
                         f"hung worker: no heartbeat for {silent:.2f}s "
@@ -462,9 +521,12 @@ class Scheduler:
         # -- report -----------------------------------------------------
         if scratch_workdir:
             shutil.rmtree(workdir, ignore_errors=True)
+        tel.close_stream()
+        flush_prom(force=True)
         ok = all(rec.state == JobState.DONE for rec in records)
         report = {
             "schema": BATCH_SCHEMA,
+            "batch_id": batch_id,
             "params": {
                 "workers": self.workers,
                 "pool_size_final": pool_size,
@@ -490,42 +552,68 @@ def run_batch(jobs: list[JobSpec], **kwargs) -> dict:
     return Scheduler(**kwargs).run(jobs)
 
 
-def render_report(report: dict) -> str:
-    """Terminal rendering of a batch report (``repro jobs``)."""
-    from repro.analysis import format_table
+def render_report(report: dict, *, events: list[dict] | None = None) -> str:
+    """Terminal rendering of a batch report (``repro jobs``).
+
+    ``events`` (optional) is the batch's service stream — the event
+    records of the ``service.jsonl`` next to the report.  When given,
+    the *attempts* and *cache* columns are sourced from the stream
+    (launch counts and ``job_done.cached`` flags) instead of the report
+    snapshot, so the table reflects what actually happened on the wire.
+    """
+    from repro.telemetry.report import format_table
 
     if report.get("schema") != BATCH_SCHEMA:
         raise ValueError(
             f"not a batch report (schema {report.get('schema')!r}, "
             f"expected {BATCH_SCHEMA!r})"
         )
+    launches: dict[str, int] = {}
+    stream_cached: dict[str, bool] = {}
+    if events is not None:
+        for rec in events:
+            if rec.get("type") != "event":
+                continue
+            job = rec.get("job")
+            if rec.get("kind") == "job_launched":
+                launches[job] = launches.get(job, 0) + 1
+            elif rec.get("kind") == "job_done":
+                stream_cached[job] = bool(rec.get("cached"))
     rows = []
     for job in report["jobs"]:
         state = job["state"]
         note = ""
-        if job.get("cached"):
-            note = "cache"
-        elif job.get("resumed_from") is not None:
+        if job.get("resumed_from") is not None:
             note = f"resumed@{job['resumed_from']}"
         if job.get("error"):
             note = (note + " " if note else "") + job["error"][:40]
+        if events is not None:
+            attempts = launches.get(job["name"], job["attempts"])
+            cached = stream_cached.get(job["name"], job.get("cached", False))
+        else:
+            attempts = job["attempts"]
+            cached = job.get("cached", False)
         rows.append(
             [
                 job["name"],
                 state,
-                job["attempts"],
+                attempts,
                 len(job.get("retries", [])),
+                "yes" if cached else "no",
                 f"{job['wall']:.2f}",
                 job["key"][:12],
                 note,
             ]
         )
     c = report["counters"]
+    title = f"batch report ({len(rows)} jobs, wall {report['wall']:.2f}s)"
+    if report.get("batch_id"):
+        title += f" — {report['batch_id']}"
     lines = [
         format_table(
-            ["job", "state", "attempts", "retries", "wall (s)", "key", "notes"],
+            ["job", "state", "attempts", "retries", "cache", "wall (s)", "key", "notes"],
             rows,
-            title=f"batch report ({len(rows)} jobs, wall {report['wall']:.2f}s)",
+            title=title,
         ),
         "",
         (

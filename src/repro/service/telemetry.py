@@ -2,18 +2,27 @@
 
 Mirrors the run-level :mod:`repro.telemetry` shape one level up: a
 :class:`ServiceTelemetry` collects an ordered stream of scheduler
-events (launches, heartbeats lost, retries, worker deaths, cache hits
-and quarantines, pool shrinks, circuit-breaker trips) plus a
+events (launches, progress, heartbeats lost, retries, worker deaths,
+cache hits and quarantines, pool shrinks, circuit-breaker trips) plus a
 :class:`~repro.telemetry.metrics.MetricsRegistry` of batch-wide
 counters and the queue-depth gauge, and writes them as JSONL — schema
-``repro-service/1``: a ``header`` line, ``event`` lines in occurrence
-order (each stamped with wall seconds since batch start and the queue
-depth at that moment), and a closing ``summary`` with the registry
-snapshot.
+``repro-service/2``: a ``header`` line, ``event`` lines in occurrence
+order, and a closing ``summary`` with the registry snapshot.
+
+Timestamps follow the observability contract (DESIGN.md §5.8): every
+event's ``t`` is a ``time.monotonic()`` delta from batch start, so
+wall-clock steps (NTP, suspend) can never produce negative or jumping
+values mid-stream; the absolute wall-clock start lives in the header
+only (``started_at``, ``time.time()``).  Schema ``/2`` additionally
+carries the batch's correlation identity: ``batch_id`` in the header and
+``job_id``/``attempt`` on every job-scoped event, so the stream joins
+with per-job metrics, traces, checkpoints and result documents.
 
 Unlike run telemetry there is no zero-cost clause to honour — the
 scheduler lives entirely off the virtual clocks — so the stream is
 always recorded and saving it is opt-in (``repro submit --metrics``).
+With :meth:`stream_to` the stream is *also* appended live, line by
+flushed line, which is what ``repro top`` tails.
 """
 
 from __future__ import annotations
@@ -27,20 +36,69 @@ from repro.telemetry.metrics import MetricsRegistry
 __all__ = ["ServiceTelemetry", "SERVICE_SCHEMA"]
 
 #: Schema marker on the first line of every service metrics stream.
-SERVICE_SCHEMA = "repro-service/1"
+SERVICE_SCHEMA = "repro-service/2"
+
+#: minimum seconds between two job_progress events for the same job
+_PROGRESS_EVERY = 0.2
 
 
 class ServiceTelemetry:
     """Event stream + metrics registry for one scheduler batch."""
 
-    def __init__(self, *, jobs: int, workers: int, params: dict | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        jobs: int,
+        workers: int,
+        params: dict | None = None,
+        batch_id: str | None = None,
+    ) -> None:
         self.jobs = int(jobs)
         self.workers = int(workers)
         self.params = dict(params or {})
+        self.batch_id = batch_id
         self.registry = MetricsRegistry()
         self.records: list[dict] = []
+        self.started_at = time.time()
         self._t0 = time.monotonic()
         self._queue_depth = 0
+        self._stream = None
+        self._last_progress: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # live streaming
+    # ------------------------------------------------------------------
+    def stream_to(self, path: str | Path) -> Path:
+        """Append the stream live to ``path`` (header now, events as they
+        happen, summary at :meth:`close_stream`).
+
+        Every line is flushed immediately so a tailing ``repro top`` sees
+        events while the batch runs.  The final :meth:`save` to the same
+        path (done by :meth:`close_stream`) rewrites it atomically, so a
+        crash mid-batch leaves a valid-but-summaryless stream, never a
+        torn line.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = path.open("w", encoding="utf-8")
+        self._emit(self.header())
+        return path
+
+    def _emit(self, record: dict) -> None:
+        if self._stream is not None:
+            self._stream.write(json.dumps(record) + "\n")
+            self._stream.flush()
+
+    def close_stream(self) -> Path | None:
+        """Finish the live stream: append the summary, then atomically
+        rewrite the whole file (idempotent; returns the path or None)."""
+        if self._stream is None:
+            return None
+        self._emit(self.summary_record())
+        path = Path(self._stream.name)
+        self._stream.close()
+        self._stream = None
+        return self.save(path)
 
     # ------------------------------------------------------------------
     def set_queue_depth(self, depth: int) -> None:
@@ -58,57 +116,95 @@ class ServiceTelemetry:
             **fields,
         }
         self.records.append(record)
+        self._emit(record)
         return record
 
+    def _job_event(self, kind: str, job, **fields) -> dict:
+        """Event stamped with the job's correlation identity.
+
+        ``job`` is anything with ``name``/``key``/``attempt`` (a
+        ``JobRecord``); plain strings are kept working for tests.
+        """
+        if not isinstance(job, str):
+            fields.setdefault("job_id", job.key)
+            fields.setdefault("attempt", int(job.attempt))
+            job = job.name
+        return self.event(kind, job=job, **fields)
+
     # convenience wrappers keeping counter names in one place ------------
-    def on_launch(self, job: str, attempt: int) -> None:
+    def on_launch(self, job, attempt: int) -> None:
         self.registry.counter("jobs.launched").inc()
-        self.event("job_launched", job=job, attempt=attempt)
+        self._job_event("job_launched", job, attempt=int(attempt))
 
-    def on_heartbeat(self, job: str, iteration: int) -> None:
+    def on_heartbeat(
+        self,
+        job,
+        iteration: int,
+        *,
+        total: int | None = None,
+        imbalance: float | None = None,
+    ) -> None:
         self.registry.counter("heartbeats.received").inc()
+        if imbalance is not None:
+            self.registry.gauge("jobs.imbalance.last").set(imbalance)
+        # throttle the stream: one progress event per job per
+        # _PROGRESS_EVERY seconds, plus always the final iteration
+        name = job if isinstance(job, str) else job.name
+        now = time.monotonic()
+        final = total is not None and iteration >= total
+        if not final and now - self._last_progress.get(name, -1.0) < _PROGRESS_EVERY:
+            return
+        self._last_progress[name] = now
+        fields: dict = {"iteration": int(iteration)}
+        if total is not None:
+            fields["total"] = int(total)
+        if imbalance is not None:
+            fields["imbalance"] = round(float(imbalance), 6)
+        self._job_event("job_progress", job, **fields)
 
-    def on_done(self, job: str, wall: float, cached: bool) -> None:
+    def on_done(self, job, wall: float, cached: bool) -> None:
         self.registry.counter("jobs.completed").inc()
         if cached:
             self.registry.counter("cache.hits").inc()
-        self.event("job_done", job=job, wall=round(wall, 6), cached=cached)
+        self._job_event("job_done", job, wall=round(wall, 6), cached=cached)
 
-    def on_retry(self, job: str, attempt: int, reason: str, delay: float) -> None:
+    def on_retry(self, job, attempt: int, reason: str, delay: float) -> None:
         self.registry.counter("jobs.retries").inc()
-        self.event(
-            "job_retry", job=job, attempt=attempt, reason=reason,
+        # ``attempt`` is the upcoming attempt (as in schema /1); the
+        # explicit value wins over the record's correlation default
+        self._job_event(
+            "job_retry", job, attempt=int(attempt), reason=reason,
             delay=round(delay, 6),
         )
 
-    def on_failed(self, job: str, reason: str) -> None:
+    def on_failed(self, job, reason: str) -> None:
         self.registry.counter("jobs.failed").inc()
-        self.event("job_failed", job=job, reason=reason)
+        self._job_event("job_failed", job, reason=reason)
 
-    def on_timeout(self, job: str, limit: float, elapsed: float) -> None:
+    def on_timeout(self, job, limit: float, elapsed: float) -> None:
         self.registry.counter("jobs.timeouts").inc()
-        self.event(
-            "job_timeout", job=job, limit=limit, elapsed=round(elapsed, 6)
+        self._job_event(
+            "job_timeout", job, limit=limit, elapsed=round(elapsed, 6)
         )
 
-    def on_heartbeat_lost(self, job: str, silent_for: float) -> None:
+    def on_heartbeat_lost(self, job, silent_for: float) -> None:
         self.registry.counter("heartbeats.lost").inc()
-        self.event("heartbeat_lost", job=job, silent_for=round(silent_for, 6))
+        self._job_event("heartbeat_lost", job, silent_for=round(silent_for, 6))
 
-    def on_worker_lost(self, job: str, exitcode: int | None) -> None:
+    def on_worker_lost(self, job, exitcode: int | None) -> None:
         self.registry.counter("workers.lost").inc()
-        self.event("worker_lost", job=job, exitcode=exitcode)
+        self._job_event("worker_lost", job, exitcode=exitcode)
 
-    def on_cancelled(self, job: str, reason: str) -> None:
+    def on_cancelled(self, job, reason: str) -> None:
         self.registry.counter("jobs.cancelled").inc()
-        self.event("job_cancelled", job=job, reason=reason)
+        self._job_event("job_cancelled", job, reason=reason)
 
     def on_pool_shrink(self, size: int, reason: str) -> None:
         self.registry.counter("pool.shrinks").inc()
         self.registry.gauge("pool.size").set(size)
         self.event("pool_shrink", size=size, reason=reason)
 
-    def on_cache_miss(self, job: str) -> None:
+    def on_cache_miss(self, job) -> None:
         self.registry.counter("cache.misses").inc()
 
     def on_quarantine(self, path: str, reason: str) -> None:
@@ -120,13 +216,17 @@ class ServiceTelemetry:
 
     # ------------------------------------------------------------------
     def header(self) -> dict:
-        return {
+        out = {
             "type": "header",
             "schema": SERVICE_SCHEMA,
             "jobs": self.jobs,
             "workers": self.workers,
+            "started_at": round(self.started_at, 6),
             "params": self.params,
         }
+        if self.batch_id is not None:
+            out["batch_id"] = self.batch_id
+        return out
 
     def summary_record(self) -> dict:
         return {"type": "summary", "aggregates": self.registry.snapshot()}

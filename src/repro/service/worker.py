@@ -6,9 +6,24 @@ iteration at a time, and speaks a small message protocol back over its
 pipe::
 
     ("started",   {"pid": ..., "iteration": k})   # k > 0 on a resume
-    ("heartbeat", {"iteration": k})               # after every iteration
+    ("heartbeat", {"iteration": k, "total": n,    # after every iteration
+                   "imbalance": x})
     ("done",      {"payload": result.to_dict()})
     ("failed",    {"error": <picklable ReproError>})
+
+Heartbeats double as progress reports (schema ``repro-service/2``):
+``iteration``/``total`` give the live view its progress bars and
+``imbalance`` is the last-known max/mean particle imbalance, computed
+from the already-materialized per-rank counts — an O(p) read, never a
+simulation step.
+
+The scheduler passes a *correlation* identity
+(``{"batch_id", "job_id", "attempt"}``) that the worker stamps onto the
+simulation, so the run's telemetry header, trace export, checkpoints,
+and result document all join with the batch's service stream (DESIGN.md
+§5.8).  With an observability directory the worker additionally enables
+run telemetry and drops ``job-<id12>-a<attempt>.metrics.jsonl`` /
+``.trace.json`` files next to the stream.
 
 Progress is checkpointed to ``<workdir>/<key>.ck.npz`` every
 ``checkpoint_every`` iterations, so when the supervisor kills a hung
@@ -34,12 +49,13 @@ import signal
 import time
 from pathlib import Path
 
+from repro.core.metrics import load_imbalance, particle_counts
 from repro.machine.faults import FaultPlan
 from repro.pic.simulation import Simulation, config_from_dict
 from repro.service.jobs import JobSpec
 from repro.util.errors import JobError, ReproError
 
-__all__ = ["worker_main", "scratch_checkpoint"]
+__all__ = ["worker_main", "scratch_checkpoint", "job_artifact_stem"]
 
 #: Sleep horizon of a "hang" sabotage — far beyond any heartbeat budget.
 _HANG_SECONDS = 3600.0
@@ -48,6 +64,11 @@ _HANG_SECONDS = 3600.0
 def scratch_checkpoint(workdir: str | Path, key: str) -> Path:
     """Location of a job's in-progress checkpoint in the batch workdir."""
     return Path(workdir) / f"{key}.ck.npz"
+
+
+def job_artifact_stem(job_id: str, attempt: int) -> str:
+    """File stem of one attempt's telemetry artifacts in the obs dir."""
+    return f"job-{job_id[:12]}-a{int(attempt)}"
 
 
 def _remaining_plan(plan_dict: dict | None, resume_iteration: int) -> FaultPlan | None:
@@ -92,12 +113,25 @@ def _maybe_sabotage(chaos: dict | None, iteration: int, attempt: int) -> None:
         time.sleep(_HANG_SECONDS)
 
 
+def _last_imbalance(sim: Simulation) -> float | None:
+    """Max/mean particle imbalance of the live decomposition (O(p))."""
+    try:
+        counts = particle_counts(sim.pic.particles)
+        if counts.sum() == 0:
+            return None
+        return round(float(load_imbalance(counts)), 6)
+    except Exception:  # noqa: BLE001 - progress decoration must never kill a job
+        return None
+
+
 def worker_main(
     conn,
     spec_dict: dict,
     workdir: str,
     checkpoint_every: int,
     attempt: int,
+    correlation: dict | None = None,
+    obs_dir: str | None = None,
 ) -> None:
     """Run one job attempt; every exit path sends a message (or dies loudly)."""
     spec = JobSpec.from_dict(spec_dict)
@@ -122,14 +156,33 @@ def worker_main(
             plan = FaultPlan.from_dict(spec.fault_plan) if spec.fault_plan else None
         if plan is not None:
             sim.install_faults(plan)
+        if correlation is not None:
+            sim.set_correlation(correlation)
+        if obs_dir is not None:
+            sim.enable_telemetry()
         conn.send(("started", {"pid": os.getpid(), "iteration": sim.iteration}))
         while sim.iteration < spec.iterations:
             _maybe_sabotage(spec.chaos, sim.iteration, attempt)
             sim.run(
                 1, checkpoint_every=checkpoint_every, checkpoint_path=ck
             )
-            conn.send(("heartbeat", {"iteration": sim.iteration}))
+            conn.send(
+                (
+                    "heartbeat",
+                    {
+                        "iteration": sim.iteration,
+                        "total": spec.iterations,
+                        "imbalance": _last_imbalance(sim),
+                    },
+                )
+            )
         result = sim.result()
+        if obs_dir is not None and sim.telemetry is not None:
+            stem = job_artifact_stem(
+                correlation["job_id"] if correlation else spec.key, attempt
+            )
+            sim.telemetry.save_metrics(Path(obs_dir) / f"{stem}.metrics.jsonl")
+            sim.telemetry.save_trace(Path(obs_dir) / f"{stem}.trace.json")
         sim.close()
         conn.send(("done", {"payload": result.to_dict()}))
     except ReproError as exc:

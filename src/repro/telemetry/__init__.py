@@ -19,11 +19,19 @@ carries only dormant ``is None`` branches and produces bit-identical
 
 from repro.telemetry.collector import METRICS_SCHEMA, RunTelemetry
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.telemetry.report import render_comparison, render_report, report_from_files
+from repro.telemetry.report import (
+    ascii_series,
+    format_table,
+    render_comparison,
+    render_report,
+    report_from_files,
+)
 from repro.telemetry.schema import (
     ParsedMetrics,
+    ParsedService,
     TelemetrySchemaError,
     validate_metrics,
+    validate_service,
     validate_trace,
 )
 from repro.telemetry.spans import TRACE_SCHEMA, Span, SpanTracer
@@ -37,12 +45,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "ParsedMetrics",
+    "ParsedService",
     "TelemetrySchemaError",
     "validate_trace",
     "validate_metrics",
+    "validate_service",
     "render_report",
     "render_comparison",
     "report_from_files",
+    "format_table",
+    "ascii_series",
     "TRACE_SCHEMA",
     "METRICS_SCHEMA",
 ]

@@ -75,10 +75,19 @@ class RunTelemetry:
         Multicore-fallback marker (``Simulation.degraded``); embedded in
         the header when not ``None`` so stream readers can distinguish a
         true multicore run from a silent in-process fallback.
+    correlation:
+        Batch identity (``{"batch_id", "job_id", "attempt"}``) stamped
+        by the job service; embedded in the header and the trace export
+        so per-job artifacts join with the batch's service stream.
     """
 
     def __init__(
-        self, p: int, *, config: dict | None = None, degraded: dict | None = None
+        self,
+        p: int,
+        *,
+        config: dict | None = None,
+        degraded: dict | None = None,
+        correlation: dict | None = None,
     ) -> None:
         #: live rank count (lowered by :meth:`on_shrink`)
         self.p = int(p)
@@ -87,8 +96,10 @@ class RunTelemetry:
         self.initial_p = int(p)
         self.config = config
         self.degraded = degraded
+        self.correlation = dict(correlation) if correlation is not None else None
         self.tracer = SpanTracer()
         self.tracer.note_ranks(p)
+        self.tracer.correlation = self.correlation
         self.registry = MetricsRegistry()
         #: ordered stream of iteration + event records (JSONL body)
         self.records: list[dict] = []
@@ -256,6 +267,11 @@ class RunTelemetry:
         """Final aggregate block (registry snapshot keyed by instrument)."""
         return self.registry.snapshot()
 
+    def set_correlation(self, correlation: dict | None) -> None:
+        """Stamp (or clear) the batch identity on header + trace export."""
+        self.correlation = dict(correlation) if correlation is not None else None
+        self.tracer.correlation = self.correlation
+
     def header(self) -> dict:
         """The JSONL header record."""
         rec = {"type": "header", "schema": METRICS_SCHEMA, "p": self.initial_p}
@@ -263,6 +279,8 @@ class RunTelemetry:
             rec["config"] = self.config
         if self.degraded is not None:
             rec["degraded"] = self.degraded
+        if self.correlation is not None:
+            rec["correlation"] = self.correlation
         return rec
 
     def summary_record(self) -> dict:

@@ -18,21 +18,91 @@ With two or more metrics files, a side-by-side comparison table of
 phase totals and run totals is appended — the view used to compare the
 flat vs looped engines or a fault-recovered run against its fault-free
 twin.
+
+This module is also the home of the generic text-rendering primitives
+(:func:`format_table`, :func:`ascii_series`) shared by the bench
+harness, the job-service report, and the batch rollup —
+``repro.analysis.report`` re-exports them for backwards compatibility.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from pathlib import Path
+
+import numpy as np
 
 from repro.machine.trace import PhaseTrace
 from repro.telemetry.schema import ParsedMetrics, validate_metrics, validate_trace
+from repro.util import require
 
 __all__ = [
     "render_report",
     "render_comparison",
     "render_decision_comparison",
     "report_from_files",
+    "format_table",
+    "ascii_series",
 ]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are shown with 2 decimals; other values via ``str``.
+    """
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    for row in str_rows:
+        require(len(row) == len(headers), "row width must match headers")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[j]) for j, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[j].rjust(widths[j]) for j in range(len(headers))))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    values: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a 1-D series as a small ASCII chart (for figure benches)."""
+    values = np.asarray(values, dtype=float)
+    require(values.ndim == 1, "values must be 1-D")
+    if values.size == 0:
+        return f"{label} (empty series)"
+    # Downsample to the chart width by block means.
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        sampled = np.array([values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    else:
+        sampled = values
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = np.clip(((sampled - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    canvas = [[" "] * sampled.size for _ in range(height)]
+    for col, row in enumerate(rows):
+        canvas[height - 1 - row][col] = "*"
+    out = []
+    if label:
+        out.append(f"{label}  [min={lo:.4g}, max={hi:.4g}, n={values.size}]")
+    out.extend("|" + "".join(line) for line in canvas)
+    out.append("+" + "-" * sampled.size)
+    return "\n".join(out)
 
 _SPARK_GLYPHS = " .:-=+*#%@"
 

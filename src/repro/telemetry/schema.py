@@ -1,13 +1,16 @@
 """Schema validation for exported telemetry files.
 
-Two artifact kinds leave a run:
+Three artifact kinds leave a run or a batch:
 
 * **trace** — Chrome Trace Event JSON (``repro run --trace``), loadable
   by Perfetto; validated by :func:`validate_trace`;
 * **metrics** — JSONL, one record per line (``repro run --metrics``),
-  schema ``repro-metrics/1``; validated by :func:`validate_metrics`.
+  schema ``repro-metrics/1``; validated by :func:`validate_metrics`;
+* **service** — the job scheduler's batch event stream (``repro submit
+  --telemetry`` / ``--obs-dir``), schema ``repro-service/1`` or ``/2``;
+  validated by :func:`validate_service`.
 
-Both validators raise :class:`TelemetrySchemaError` naming the first
+All validators raise :class:`TelemetrySchemaError` naming the first
 offending record, and return the parsed content so callers (the report
 CLI, the CI ``telemetry`` job, the tests) never parse twice.
 """
@@ -24,7 +27,9 @@ __all__ = [
     "TelemetrySchemaError",
     "validate_trace",
     "validate_metrics",
+    "validate_service",
     "ParsedMetrics",
+    "ParsedService",
 ]
 
 #: Chrome-trace phase codes the exporter emits.
@@ -200,3 +205,142 @@ def validate_metrics(source: str | Path | list[str]) -> ParsedMetrics:
     if summary is None:
         _fail(f"{where}: no closing summary record")
     return ParsedMetrics(header, iterations, events, summary)
+
+
+# ----------------------------------------------------------------------
+# service (batch) stream
+# ----------------------------------------------------------------------
+#: Accepted batch-stream schema versions.  The writer
+#: (:data:`repro.service.telemetry.SERVICE_SCHEMA`) emits the newest;
+#: ``/1`` streams from older runs stay readable.
+_SERVICE_SCHEMAS = ("repro-service/1", "repro-service/2")
+
+#: Event kinds scoped to one job — in ``/2`` these must carry the
+#: correlation identity (``job_id`` + ``attempt``) next to ``job``.
+_JOB_EVENT_KINDS = frozenset(
+    {
+        "job_launched",
+        "job_progress",
+        "job_done",
+        "job_retry",
+        "job_failed",
+        "job_timeout",
+        "heartbeat_lost",
+        "worker_lost",
+        "job_cancelled",
+    }
+)
+
+
+class ParsedService:
+    """Structured view of a validated service (batch) JSONL stream."""
+
+    def __init__(self, header: dict, events: list[dict], summary: dict | None) -> None:
+        self.header = header
+        self.events = events
+        self.summary = summary
+
+    @property
+    def schema(self) -> str:
+        return str(self.header["schema"])
+
+    @property
+    def batch_id(self) -> str | None:
+        """The batch identity (None on ``/1`` streams)."""
+        return self.header.get("batch_id")
+
+    def job_events(self) -> list[dict]:
+        """The job-scoped subset of :attr:`events`, in stream order."""
+        return [ev for ev in self.events if ev.get("kind") in _JOB_EVENT_KINDS]
+
+
+def validate_service(source: str | Path | list[str]) -> ParsedService:
+    """Validate a service batch stream; return a :class:`ParsedService`.
+
+    ``source`` is a file path or a list of JSONL lines.  Checks the
+    header schema marker (``repro-service/1`` or ``/2``), the monotonic
+    non-negative event timestamps (the §5.8 contract), the per-event
+    required fields — on ``/2``, the ``batch_id``/``started_at`` header
+    fields and the ``job_id``/``attempt`` correlation stamp on every
+    job-scoped event — and the presence of a closing summary.  A live
+    stream being tailed mid-batch has no summary yet and is therefore
+    *invalid* by design: completeness is part of the contract.
+    """
+    if isinstance(source, list):
+        lines = source
+        where = "<lines>"
+    else:
+        path = Path(source)
+        lines = path.read_text().splitlines()
+        where = str(path)
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            _fail(f"{where}:{lineno} is not valid JSON: {exc}")
+    if not records:
+        _fail(f"{where} is empty")
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") not in _SERVICE_SCHEMAS:
+        _fail(
+            f"{where}: first record must be a header with schema in "
+            f"{list(_SERVICE_SCHEMAS)}, got {header.get('schema')!r}"
+        )
+    v2 = header["schema"] == "repro-service/2"
+    for key in ("jobs", "workers"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            _fail(f"{where}: header {key!r} must be a non-negative integer")
+    if v2:
+        if not isinstance(header.get("batch_id"), str) or not header["batch_id"]:
+            _fail(f"{where}: /2 header needs a non-empty 'batch_id'")
+        if not isinstance(header.get("started_at"), (int, float)):
+            _fail(f"{where}: /2 header needs a numeric 'started_at'")
+    events: list[dict] = []
+    summary: dict | None = None
+    last_t = 0.0
+    for i, rec in enumerate(records[1:], start=2):
+        kind = rec.get("type")
+        if kind == "event":
+            if summary is not None:
+                _fail(f"{where}: record {i} follows the summary record")
+            name = rec.get("kind")
+            if not isinstance(name, str) or not name:
+                _fail(f"{where}: event record {i} needs a 'kind' name")
+            t = rec.get("t")
+            if not isinstance(t, (int, float)) or t < 0:
+                _fail(f"{where}: event record {i} needs a non-negative numeric 't'")
+            if t < last_t:
+                _fail(
+                    f"{where}: event record {i} has t={t} before the previous "
+                    f"event's t={last_t} (timestamps must be monotonic)"
+                )
+            last_t = float(t)
+            if name in _JOB_EVENT_KINDS:
+                if not isinstance(rec.get("job"), str):
+                    _fail(f"{where}: {name} record {i} needs a 'job' name")
+                if v2:
+                    if not isinstance(rec.get("job_id"), str) or not rec["job_id"]:
+                        _fail(f"{where}: /2 {name} record {i} needs a 'job_id'")
+                    attempt = rec.get("attempt")
+                    if not isinstance(attempt, int) or attempt < 0:
+                        _fail(
+                            f"{where}: /2 {name} record {i} needs a "
+                            f"non-negative integer 'attempt'"
+                        )
+            events.append(rec)
+        elif kind == "summary":
+            if summary is not None:
+                _fail(f"{where}: duplicate summary record at {i}")
+            if "aggregates" not in rec:
+                _fail(f"{where}: summary record is missing 'aggregates'")
+            summary = rec
+        elif kind == "header":
+            _fail(f"{where}: duplicate header record at {i}")
+        else:
+            _fail(f"{where}: record {i} has unknown type {kind!r}")
+    if summary is None:
+        _fail(f"{where}: no closing summary record (incomplete stream?)")
+    return ParsedService(header, events, summary)

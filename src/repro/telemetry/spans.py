@@ -93,6 +93,9 @@ class SpanTracer:
         #: rank-count history: list of (iteration, p) entries; recovery
         #: shrink appends so lane metadata can mark dead ranks.
         self.rank_history: list[tuple[int, int]] = []
+        #: batch identity stamped into ``otherData.correlation`` of the
+        #: export (None for standalone runs — key then absent)
+        self.correlation: dict | None = None
 
     # ------------------------------------------------------------------
     # recording
@@ -199,14 +202,17 @@ class SpanTracer:
                     "args": sample.values,
                 }
             )
+        other = {
+            "schema": TRACE_SCHEMA,
+            "clock": "virtual",
+            "rank_history": [list(entry) for entry in self.rank_history],
+        }
+        if self.correlation is not None:
+            other["correlation"] = dict(self.correlation)
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {
-                "schema": TRACE_SCHEMA,
-                "clock": "virtual",
-                "rank_history": [list(entry) for entry in self.rank_history],
-            },
+            "otherData": other,
         }
 
     def save(self, path: str | Path) -> Path:

@@ -265,7 +265,7 @@ class TestSubmitAndJobs:
         assert doc["schema"] == "repro-batch/1" and doc["ok"]
         assert doc["counters"]["completed"] == 2
         lines = (tmp_path / "svc.jsonl").read_text().splitlines()
-        assert json.loads(lines[0])["schema"] == "repro-service/1"
+        assert json.loads(lines[0])["schema"] == "repro-service/2"
         # render the saved report
         assert main(["jobs", str(report)]) == 0
         assert "batch: OK" in capsys.readouterr().out

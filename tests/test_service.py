@@ -384,7 +384,7 @@ class TestSchedulerBasics:
         sched.run([spec(seed=0)])
         path = sched.telemetry.save(tmp_path / "svc.jsonl")
         lines = [json.loads(l) for l in path.read_text().splitlines()]
-        assert lines[0]["schema"] == "repro-service/1"
+        assert lines[0]["schema"] == "repro-service/2"
         assert lines[-1]["type"] == "summary"
         kinds = {r.get("kind") for r in lines if r["type"] == "event"}
         assert "job_launched" in kinds and "job_done" in kinds
